@@ -1,0 +1,394 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each benchmark runs the corresponding experiment driver and reports the
+// headline quantities as custom metrics; the full row/series output is
+// logged with -v.
+//
+// By default the drivers run at a reduced horizon so the whole suite
+// completes in minutes. Set HYPATIA_SCALE=paper to run the paper's full
+// 200-second horizons (slow: the Fig 2 sweep and the constellation-wide
+// packet experiments then take tens of minutes).
+package hypatia
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"hypatia/internal/experiments"
+	"hypatia/internal/sim"
+	"hypatia/internal/transport"
+)
+
+// benchScale picks the experiment horizon.
+func benchScale() experiments.Scale {
+	if os.Getenv("HYPATIA_SCALE") == "paper" {
+		return experiments.PaperScale()
+	}
+	return experiments.QuickScale()
+}
+
+// benchPingInterval matches the paper's 1 ms pings at paper scale and a
+// cheaper 20 ms otherwise.
+func benchPingInterval() sim.Time {
+	if os.Getenv("HYPATIA_SCALE") == "paper" {
+		return sim.Millisecond
+	}
+	return 20 * sim.Millisecond
+}
+
+func BenchmarkTable1ShellConfigurations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + rep.String())
+		}
+	}
+}
+
+func BenchmarkFig2ScalabilityUDP(b *testing.B) {
+	benchFig2(b, "udp")
+}
+
+func BenchmarkFig2ScalabilityTCP(b *testing.B) {
+	benchFig2(b, "tcp")
+}
+
+func benchFig2(b *testing.B, kind string) {
+	cfg := experiments.ScalabilityConfig{VirtualSeconds: 1, Pairs: benchScale().Pairs}
+	if os.Getenv("HYPATIA_SCALE") == "paper" {
+		cfg.VirtualSeconds = 2
+		cfg.Pairs = 0
+	} else {
+		cfg.LineRates = []float64{1e6, 10e6, 25e6}
+	}
+	for i := 0; i < b.N; i++ {
+		points, rep, err := experiments.Fig2Scalability(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + rep.String())
+			for _, p := range points {
+				if p.Transport == kind && p.LineRateBps == 10e6 {
+					b.ReportMetric(p.Slowdown, "slowdown@10Mbps")
+					b.ReportMetric(p.GoodputBps/1e6, "goodput_Mbps")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig3RTTFluctuations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		studies, rep, err := experiments.Fig3and4PathStudies(benchScale(), benchPingInterval())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + rep.String())
+			// Headline: Manila-Dalian RTT range (paper: 25-48 ms).
+			for _, s := range studies {
+				if s.Name == "Manila to Dalian" {
+					min, max := math.Inf(1), 0.0
+					for _, r := range s.ComputedRTT {
+						if !math.IsInf(r, 1) {
+							min = math.Min(min, r)
+							max = math.Max(max, r)
+						}
+					}
+					b.ReportMetric(min*1e3, "manila_dalian_minRTT_ms")
+					b.ReportMetric(max*1e3, "manila_dalian_maxRTT_ms")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig4CongestionWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		studies, rep, err := experiments.Fig3and4PathStudies(benchScale(), 100*sim.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + rep.String())
+			s := studies[0]
+			b.ReportMetric(s.Cwnd.Max(), "cwnd_peak_pkts")
+			finite := 0.0
+			for _, v := range s.BDPPlusQ {
+				if !math.IsInf(v, 1) {
+					finite = v
+					break
+				}
+			}
+			b.ReportMetric(finite, "bdp_plus_q_pkts")
+		}
+	}
+}
+
+func BenchmarkFig5LossVsDelayCC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, rep, err := experiments.Fig5LossVsDelayCC(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + rep.String())
+			b.ReportMetric(out[transport.NewReno].Goodput/1e6, "newreno_Mbps")
+			b.ReportMetric(out[transport.Vegas].Goodput/1e6, "vegas_Mbps")
+		}
+	}
+}
+
+// benchFig6to8 runs the constellation-wide analysis once and reports one
+// figure's headline metric.
+func benchFig6to8(b *testing.B, report func(*testing.B, []*experiments.ConstellationStats)) {
+	scale := benchScale()
+	step := 1.0
+	if os.Getenv("HYPATIA_SCALE") == "paper" {
+		step = 0.1
+	}
+	for i := 0; i < b.N; i++ {
+		all, rep, err := experiments.Fig6to8Analysis(scale, step)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + rep.String())
+			report(b, all)
+		}
+	}
+}
+
+func BenchmarkFig6RTTGeodesic(b *testing.B) {
+	benchFig6to8(b, func(b *testing.B, all []*experiments.ConstellationStats) {
+		for _, c := range all {
+			below2 := 0
+			conn := 0
+			for _, s := range c.Stats {
+				if !s.Connected() {
+					continue
+				}
+				conn++
+				if s.MaxOverGeodesic() < 2 {
+					below2++
+				}
+			}
+			if conn > 0 {
+				b.ReportMetric(100*float64(below2)/float64(conn), c.Name+"_pct_below_2x")
+			}
+		}
+	})
+}
+
+func BenchmarkFig7RTTVariations(b *testing.B) {
+	benchFig6to8(b, func(b *testing.B, all []*experiments.ConstellationStats) {
+		for _, c := range all {
+			var spreads []float64
+			for _, s := range c.Stats {
+				if s.Connected() {
+					spreads = append(spreads, s.RTTSpread()*1e3)
+				}
+			}
+			if len(spreads) > 0 {
+				b.ReportMetric(NewECDF(spreads).Median(), c.Name+"_med_spread_ms")
+			}
+		}
+	})
+}
+
+func BenchmarkFig8PathChanges(b *testing.B) {
+	benchFig6to8(b, func(b *testing.B, all []*experiments.ConstellationStats) {
+		for _, c := range all {
+			var changes []float64
+			for _, s := range c.Stats {
+				if s.Connected() {
+					changes = append(changes, float64(s.PathChanges))
+				}
+			}
+			if len(changes) > 0 {
+				b.ReportMetric(NewECDF(changes).Median(), c.Name+"_med_changes")
+			}
+		}
+	})
+}
+
+func BenchmarkFig9TimeStepGranularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		profiles, rep, err := experiments.Fig9TimeStepGranularity(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + rep.String())
+			baseTotal, coarseTotal := 0, 0
+			for _, c := range profiles[0].Profile.PerPair {
+				baseTotal += c
+			}
+			for _, c := range profiles[2].Profile.PerPair {
+				coarseTotal += c
+			}
+			if baseTotal > 0 {
+				b.ReportMetric(100*float64(coarseTotal)/float64(baseTotal), "pct_seen_at_1000ms")
+			}
+		}
+	}
+}
+
+func BenchmarkFig10UnusedBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, rep, err := experiments.Fig10to15CrossTraffic(experiments.CrossTrafficConfig{Scale: benchScale()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + rep.String())
+			b.ReportMetric(fracAbove(res.UnusedBandwidth, 10e6/3)*100, "dyn_pct_third_unused")
+			b.ReportMetric(fracAbove(res.StaticUnused, 10e6/3)*100, "static_pct_third_unused")
+		}
+	}
+}
+
+func fracAbove(series []float64, threshold float64) float64 {
+	n, hit := 0, 0
+	for _, v := range series {
+		if math.IsNaN(v) {
+			continue
+		}
+		n++
+		if v > threshold {
+			hit++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(hit) / float64(n)
+}
+
+func BenchmarkFig11Trajectories(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		svgs, czmls, rep, err := experiments.Fig11Trajectories()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + rep.String())
+			b.ReportMetric(float64(len(svgs)), "svgs")
+			b.ReportMetric(float64(len(czmls)), "czmls")
+		}
+	}
+}
+
+func BenchmarkFig12GroundObserver(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, rep, err := experiments.Fig12GroundObserver(benchScale().Duration * 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + rep.String())
+			up := 0
+			for _, r := range res.Reachable {
+				if r {
+					up++
+				}
+			}
+			b.ReportMetric(100*float64(up)/float64(len(res.Reachable)), "stp_reachable_pct")
+		}
+	}
+}
+
+func BenchmarkFig13PathEvolution(b *testing.B) {
+	scale := benchScale()
+	scale.Duration = math.Max(scale.Duration, 60)
+	for i := 0; i < b.N; i++ {
+		res, rep, err := experiments.Fig13PathEvolution(scale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + rep.String())
+			b.ReportMetric(res.MaxRTT*1e3, "paris_luanda_maxRTT_ms")
+			b.ReportMetric(res.MinRTT*1e3, "paris_luanda_minRTT_ms")
+		}
+	}
+}
+
+func BenchmarkFig14CongestionShift(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, rep, err := experiments.Fig10to15CrossTraffic(experiments.CrossTrafficConfig{Scale: benchScale()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + rep.String())
+			b.ReportMetric(float64(len(res.PathLoadsEarly)), "early_path_links")
+			b.ReportMetric(float64(len(res.PathLoadsLate)), "late_path_links")
+		}
+	}
+}
+
+func BenchmarkFig15NetworkWideUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, rep, err := experiments.Fig10to15CrossTraffic(experiments.CrossTrafficConfig{Scale: benchScale()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + rep.String())
+			b.ReportMetric(float64(len(res.NetworkLoads)), "loaded_isls")
+			max := 0.0
+			for _, l := range res.NetworkLoads {
+				max = math.Max(max, l.Utilization)
+			}
+			b.ReportMetric(max, "max_isl_utilization")
+		}
+	}
+}
+
+func BenchmarkFig16BentPipePaths(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, rep, err := experiments.AppendixBentPipe(experiments.BentPipeConfig{Scale: benchScale()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + rep.String())
+			b.ReportMetric(float64(len(res.ISLPathSVG)), "isl_path_svg_bytes")
+			b.ReportMetric(float64(len(res.BentPathSVG)), "bent_path_svg_bytes")
+		}
+	}
+}
+
+func BenchmarkFig18BentPipeRTT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, rep, err := experiments.AppendixBentPipe(experiments.BentPipeConfig{Scale: benchScale()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + rep.String())
+			b.ReportMetric(res.ISLFlow.RTTLog.Max()*1e3, "isl_tcp_maxRTT_ms")
+			b.ReportMetric(res.BentFlow.RTTLog.Max()*1e3, "bent_tcp_maxRTT_ms")
+		}
+	}
+}
+
+func BenchmarkFig19BentPipeTCP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, rep, err := experiments.AppendixBentPipe(experiments.BentPipeConfig{Scale: benchScale()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + rep.String())
+			b.ReportMetric(res.ISLGoodput/1e6, "isl_goodput_Mbps")
+			b.ReportMetric(res.BentGoodput/1e6, "bent_goodput_Mbps")
+			b.ReportMetric(float64(res.BentFlow.FastRetxCount), "bent_fast_retx")
+		}
+	}
+}

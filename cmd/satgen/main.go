@@ -1,0 +1,95 @@
+// Command satgen generates a TLE catalog for a constellation from the
+// Keplerian parameters in operator filings — the standalone utility the
+// paper describes for describing not-yet-launched satellites in the
+// space-industry standard format (WGS72).
+//
+// Usage:
+//
+//	satgen -constellation starlink|kuiper|telesat [-shells S1,S2] \
+//	       [-epoch-year 2024] [-epoch-day 1.0] [-o catalog.tle]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hypatia/internal/constellation"
+)
+
+func main() {
+	var (
+		name      = flag.String("constellation", "kuiper", "starlink, kuiper, or telesat")
+		shellsArg = flag.String("shells", "", "comma-separated shell names (default: the first shell)")
+		epochYear = flag.Int("epoch-year", 2024, "TLE epoch year")
+		epochDay  = flag.Float64("epoch-day", 1.0, "TLE epoch fractional day of year")
+		outPath   = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	available := map[string][]constellation.Shell{
+		"starlink": {constellation.StarlinkS1, constellation.StarlinkS2, constellation.StarlinkS3, constellation.StarlinkS4, constellation.StarlinkS5},
+		"kuiper":   {constellation.KuiperK1, constellation.KuiperK2, constellation.KuiperK3},
+		"telesat":  {constellation.TelesatT1, constellation.TelesatT2},
+	}
+	shells, ok := available[strings.ToLower(*name)]
+	if !ok {
+		fatal(fmt.Errorf("unknown constellation %q", *name))
+	}
+
+	var selected []constellation.Shell
+	if *shellsArg == "" {
+		selected = shells[:1]
+	} else {
+		want := map[string]bool{}
+		for _, s := range strings.Split(*shellsArg, ",") {
+			want[strings.ToUpper(strings.TrimSpace(s))] = true
+		}
+		for _, sh := range shells {
+			if want[sh.Name] {
+				selected = append(selected, sh)
+				delete(want, sh.Name)
+			}
+		}
+		if len(want) > 0 || len(selected) == 0 {
+			fatal(fmt.Errorf("unknown shells %v for %s", keys(want), *name))
+		}
+	}
+
+	cfgs := map[string]func(...constellation.Shell) constellation.Config{
+		"starlink": constellation.Starlink,
+		"kuiper":   constellation.Kuiper,
+		"telesat":  constellation.Telesat,
+	}
+	c, err := constellation.Generate(cfgs[strings.ToLower(*name)](selected...))
+	if err != nil {
+		fatal(err)
+	}
+	catalog, err := c.TLECatalog(*epochYear, *epochDay)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *outPath == "" {
+		fmt.Print(catalog)
+		return
+	}
+	if err := os.WriteFile(*outPath, []byte(catalog), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d satellites to %s\n", c.NumSatellites(), *outPath)
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "satgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Command satviz renders constellation visualizations: equirectangular
+// trajectory maps (SVG), Cesium CZML trajectory documents, and
+// ground-observer sky views.
+//
+// Usage:
+//
+//	satviz -constellation starlink|kuiper|telesat [-t 100] \
+//	       [-observer "Saint Petersburg"] [-out out]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hypatia/internal/constellation"
+	"hypatia/internal/groundstation"
+	"hypatia/internal/viz"
+)
+
+func main() {
+	var (
+		name     = flag.String("constellation", "kuiper", "starlink, kuiper, or telesat")
+		t        = flag.Float64("t", 0, "snapshot time, seconds since epoch")
+		observer = flag.String("observer", "", "city name for a ground-observer sky view")
+		outDir   = flag.String("out", "out", "output directory")
+	)
+	flag.Parse()
+
+	cfgs := map[string]constellation.Config{
+		"starlink": constellation.Starlink(),
+		"kuiper":   constellation.Kuiper(),
+		"telesat":  constellation.Telesat(),
+	}
+	cfg, ok := cfgs[*name]
+	if !ok {
+		fatal(fmt.Errorf("unknown constellation %q", *name))
+	}
+	c, err := constellation.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	svg := viz.TrajectoryMapSVG(c, viz.TrajectoryMapOptions{Time: *t, OrbitTrack: true})
+	p := filepath.Join(*outDir, *name+"-trajectories.svg")
+	if err := os.WriteFile(p, []byte(svg), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", p)
+
+	czml, err := viz.ConstellationCZML(c, viz.CZMLOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	p = filepath.Join(*outDir, *name+".czml")
+	if err := os.WriteFile(p, czml, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", p)
+
+	if *observer != "" {
+		gs, err := groundstation.ByName(groundstation.Top100Cities(), *observer)
+		if err != nil {
+			fatal(err)
+		}
+		sky, n := viz.GroundObserverSVG(c, gs.Position, viz.SkyViewOptions{Time: *t})
+		p = filepath.Join(*outDir, *name+"-skyview.svg")
+		if err := os.WriteFile(p, []byte(sky), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d connectable satellites from %s at t=%.0fs)\n", p, n, gs.Name, *t)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "satviz:", err)
+	os.Exit(1)
+}

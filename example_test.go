@@ -1,0 +1,59 @@
+package hypatia_test
+
+import (
+	"fmt"
+
+	"hypatia"
+)
+
+// Example_generate builds the Kuiper K1 constellation and inspects its
+// structure.
+func Example_generate() {
+	c, err := hypatia.GenerateConstellation(hypatia.Kuiper())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("satellites:", c.NumSatellites())
+	fmt.Println("ISLs:", len(c.ISLs))
+	// Output:
+	// satellites: 1156
+	// ISLs: 2312
+}
+
+// Example_snapshotRouting computes an instantaneous shortest path between
+// two cities without running any packets.
+func Example_snapshotRouting() {
+	c, err := hypatia.GenerateConstellation(hypatia.Kuiper())
+	if err != nil {
+		panic(err)
+	}
+	gss := hypatia.Top100Cities()
+	topo, err := hypatia.NewTopology(c, gss, hypatia.GSLFree)
+	if err != nil {
+		panic(err)
+	}
+	paris, _ := hypatia.GSByName(gss, "Paris")
+	moscow, _ := hypatia.GSByName(gss, "Moscow")
+	rtt := topo.Snapshot(0).RTT(paris.ID, moscow.ID)
+	fmt.Printf("Paris-Moscow RTT at t=0: %.0f ms\n", rtt*1e3)
+	// Output:
+	// Paris-Moscow RTT at t=0: 23 ms
+}
+
+// Example_table1 checks the paper's Table 1 totals.
+func Example_table1() {
+	total := 0
+	for _, sh := range []hypatia.Shell{
+		hypatia.StarlinkS1, hypatia.StarlinkS2, hypatia.StarlinkS3,
+		hypatia.StarlinkS4, hypatia.StarlinkS5,
+	} {
+		total += sh.Sats()
+	}
+	fmt.Println("Starlink phase 1:", total)
+	fmt.Println("Kuiper:", hypatia.KuiperK1.Sats()+hypatia.KuiperK2.Sats()+hypatia.KuiperK3.Sats())
+	fmt.Println("Telesat:", hypatia.TelesatT1.Sats()+hypatia.TelesatT2.Sats())
+	// Output:
+	// Starlink phase 1: 4409
+	// Kuiper: 3236
+	// Telesat: 1671
+}

@@ -1,0 +1,58 @@
+// constellation-compare runs the paper's constellation-wide analysis
+// (Figs 6-8) at a reduced horizon: for Starlink S1, Kuiper K1, and Telesat
+// T1 it reports RTT stretch over the geodesic, RTT variation, and path
+// churn across all city pairs more than 500 km apart.
+//
+//	go run ./examples/constellation-compare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hypatia"
+)
+
+func main() {
+	gss := hypatia.Top100Cities()
+	fmt.Println("All city pairs >500 km apart, 60 s horizon, 1 s snapshots:")
+	fmt.Printf("%-10s %10s %12s %12s %12s %12s\n",
+		"network", "pairs", "med max/geo", "frac <2x", "med spread", "med changes")
+	for _, cfg := range []hypatia.ConstellationConfig{
+		hypatia.Starlink(), hypatia.Kuiper(), hypatia.Telesat(),
+	} {
+		c, err := hypatia.GenerateConstellation(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		topo, err := hypatia.NewTopology(c, gss, hypatia.GSLFree)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats, err := hypatia.AnalyzePairs(topo, hypatia.AnalysisConfig{
+			Duration:               60,
+			Step:                   1,
+			ExcludePairsCloserThan: 500e3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var ratios, spreads, changes []float64
+		for _, s := range stats {
+			if !s.Connected() {
+				continue
+			}
+			ratios = append(ratios, s.MaxOverGeodesic())
+			spreads = append(spreads, s.RTTSpread()*1e3)
+			changes = append(changes, float64(s.PathChanges))
+		}
+		er := hypatia.NewECDF(ratios)
+		fmt.Printf("%-10s %10d %12.2f %11.1f%% %10.1fms %12.0f\n",
+			cfg.Name, len(stats), er.Median(), 100*er.FractionBelow(2),
+			hypatia.NewECDF(spreads).Median(), hypatia.NewECDF(changes).Median())
+	}
+	fmt.Println()
+	fmt.Println("The paper's ordering: Telesat achieves the lowest latencies and least")
+	fmt.Println("churn despite having the fewest satellites, thanks to its 10-degree")
+	fmt.Println("minimum elevation; Starlink varies most (22 satellites per orbit).")
+}

@@ -1,0 +1,70 @@
+// rtt-variation compares how the same city pair's round-trip time varies
+// across the three constellations the paper studies: Starlink S1, Kuiper
+// K1, and Telesat T1 (Figs 6-7 in miniature, for one pair).
+//
+//	go run ./examples/rtt-variation
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"hypatia"
+)
+
+func main() {
+	gss := hypatia.Top100Cities()
+	for _, cfg := range []hypatia.ConstellationConfig{
+		hypatia.Starlink(), hypatia.Kuiper(), hypatia.Telesat(),
+	} {
+		c, err := hypatia.GenerateConstellation(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		topo, err := hypatia.NewTopology(c, gss, hypatia.GSLFree)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats, err := hypatia.AnalyzePairs(topo, hypatia.AnalysisConfig{
+			Duration: 120,
+			Step:     1,
+			Pairs:    [][2]int{pair(gss, "Istanbul", "Nairobi")},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := stats[0]
+		fmt.Printf("%-9s Istanbul-Nairobi over 120 s:\n", cfg.Name)
+		if !s.Connected() {
+			fmt.Println("  never connected")
+			continue
+		}
+		fmt.Printf("  geodesic RTT %.1f ms, min %.1f ms, max %.1f ms (%.2fx geodesic)\n",
+			s.GeodesicRTT*1e3, s.MinRTT*1e3, s.MaxRTT*1e3, s.MaxOverGeodesic())
+		fmt.Printf("  path changes: %d, hops: %d..%d, outage steps: %d\n",
+			s.PathChanges, s.MinHops, s.MaxHops, s.DisconnectedSteps)
+	}
+	_ = math.Inf
+}
+
+func pair(gss []hypatia.GS, a, b string) [2]int {
+	ga, err := hypatia.GSByName(gss, a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gb, err := hypatia.GSByName(gss, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var out [2]int
+	for i, g := range gss {
+		if g.ID == ga.ID {
+			out[0] = i
+		}
+		if g.ID == gb.ID {
+			out[1] = i
+		}
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module hypatia
+
+go 1.22

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"hypatia/internal/constellation"
+	"hypatia/internal/groundstation"
+)
+
+// CoverageStats summarizes a ground location's connectivity to a
+// constellation over a scan window — the quantitative counterpart of the
+// paper's ground-observer view (Fig 12): how many satellites are
+// connectable over time, and how long the outages are.
+type CoverageStats struct {
+	Name string
+
+	Samples     int     // scan samples taken
+	CoveredFrac float64 // fraction of samples with >= 1 connectable satellite
+	MeanVisible float64 // mean connectable satellites per sample
+	MaxVisible  int
+	// Outages lists the lengths (seconds) of maximal windows with no
+	// connectable satellite, longest first.
+	Outages []float64
+}
+
+// LongestOutage returns the longest outage in seconds (0 when none).
+func (c CoverageStats) LongestOutage() float64 {
+	if len(c.Outages) == 0 {
+		return 0
+	}
+	return c.Outages[0]
+}
+
+// Coverage scans the constellation's connectivity from each ground station
+// every step seconds across duration.
+func Coverage(c *constellation.Constellation, gss []groundstation.GS, duration, step float64) ([]CoverageStats, error) {
+	if duration <= 0 || step <= 0 {
+		return nil, fmt.Errorf("analysis: non-positive coverage scan window")
+	}
+	out := make([]CoverageStats, len(gss))
+	for i := range out {
+		out[i].Name = gss[i].Name
+	}
+	outageStart := make([]float64, len(gss))
+	inOutage := make([]bool, len(gss))
+
+	for t := 0.0; t <= duration; t += step {
+		pos := c.PositionsECEF(t, nil)
+		for i, gs := range gss {
+			n := len(c.VisibleFrom(gs.Position, t, pos))
+			st := &out[i]
+			st.Samples++
+			st.MeanVisible += float64(n)
+			if n > st.MaxVisible {
+				st.MaxVisible = n
+			}
+			if n > 0 {
+				st.CoveredFrac++
+				if inOutage[i] {
+					st.Outages = append(st.Outages, t-outageStart[i])
+					inOutage[i] = false
+				}
+			} else if !inOutage[i] {
+				inOutage[i] = true
+				outageStart[i] = t
+			}
+		}
+	}
+	for i := range out {
+		st := &out[i]
+		if inOutage[i] {
+			st.Outages = append(st.Outages, duration-outageStart[i]+step)
+		}
+		st.MeanVisible /= float64(st.Samples)
+		st.CoveredFrac /= float64(st.Samples)
+		sort.Sort(sort.Reverse(sort.Float64Slice(st.Outages)))
+	}
+	return out, nil
+}

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"testing"
+
+	"hypatia/internal/constellation"
+	"hypatia/internal/geom"
+	"hypatia/internal/groundstation"
+	"hypatia/internal/routing"
+)
+
+func coverageGSes() []groundstation.GS {
+	return []groundstation.GS{
+		{ID: 0, Name: "Quito", Position: geom.LLADeg(-0.18, -78.47, 0)},
+		{ID: 1, Name: "Saint Petersburg", Position: geom.LLADeg(59.93, 30.36, 0)},
+		{ID: 2, Name: "McMurdo", Position: geom.LLADeg(-77.85, 166.67, 0)},
+	}
+}
+
+func TestCoverageKuiper(t *testing.T) {
+	c, err := constellation.Generate(constellation.Kuiper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Coverage(c, coverageGSes(), 600, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quito, stp, mcmurdo := stats[0], stats[1], stats[2]
+
+	// The equator is comfortably covered by a 51.9-degree shell.
+	if quito.CoveredFrac < 0.99 {
+		t.Errorf("Quito covered %.2f of the time", quito.CoveredFrac)
+	}
+	if quito.MeanVisible < 1 {
+		t.Errorf("Quito sees %.2f satellites on average", quito.MeanVisible)
+	}
+	// Saint Petersburg is marginal: covered, but by far fewer satellites.
+	if stp.MeanVisible >= quito.MeanVisible {
+		t.Errorf("St. Petersburg (%.2f) should see fewer than Quito (%.2f)",
+			stp.MeanVisible, quito.MeanVisible)
+	}
+	// Antarctica is out of reach of Kuiper entirely (paper: Kuiper
+	// eschews connectivity near the poles).
+	if mcmurdo.CoveredFrac != 0 {
+		t.Errorf("McMurdo covered %.2f of the time by Kuiper", mcmurdo.CoveredFrac)
+	}
+	if mcmurdo.LongestOutage() == 0 {
+		t.Error("McMurdo should report one long outage")
+	}
+	if mcmurdo.MaxVisible != 0 {
+		t.Errorf("McMurdo max visible = %d", mcmurdo.MaxVisible)
+	}
+}
+
+func TestCoverageTelesatPolar(t *testing.T) {
+	// Telesat's 98.98-degree shell covers the poles (the paper's Fig 11
+	// discussion).
+	c, err := constellation.Generate(constellation.Telesat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Coverage(c, coverageGSes()[2:], 600, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].CoveredFrac < 0.99 {
+		t.Errorf("McMurdo covered %.2f of the time by Telesat", stats[0].CoveredFrac)
+	}
+}
+
+func TestCoverageValidation(t *testing.T) {
+	c, _ := constellation.Generate(constellation.Kuiper())
+	if _, err := Coverage(c, coverageGSes(), 0, 1); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := Coverage(c, coverageGSes(), 10, 0); err == nil {
+		t.Error("zero step accepted")
+	}
+}
+
+func TestCoverageOutageAccounting(t *testing.T) {
+	// Outage durations must sum to (1 - covered) of the scan, roughly.
+	c, _ := constellation.Generate(constellation.Kuiper())
+	stats, err := Coverage(c, coverageGSes()[1:2], 1200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := stats[0]
+	var outageSum float64
+	for i, o := range st.Outages {
+		if o <= 0 {
+			t.Fatalf("non-positive outage length %v", o)
+		}
+		if i > 0 && o > st.Outages[i-1] {
+			t.Fatal("outages not sorted longest-first")
+		}
+		outageSum += o
+	}
+	uncovered := (1 - st.CoveredFrac) * 1200
+	if outageSum < uncovered-30 || outageSum > uncovered+30 {
+		t.Errorf("outage sum %v vs uncovered time %v", outageSum, uncovered)
+	}
+}
+
+func TestHotspotsByLatitude(t *testing.T) {
+	c, err := constellation.Generate(constellation.Kuiper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := routing.NewTopology(c, groundstation.Top100Cities(), routing.GSLFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load the first few ISLs artificially.
+	var loads []LoadedLink
+	for i, isl := range c.ISLs[:20] {
+		loads = append(loads, LoadedLink{From: isl.A, To: isl.B, Utilization: 0.1 * float64(i%10+1) / 10})
+	}
+	loads = append(loads, LoadedLink{From: 0, To: 1, Utilization: 0}) // ignored
+	bands, err := HotspotsByLatitude(topo, loads, 0, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalLinks := 0
+	for _, b := range bands {
+		totalLinks += b.Links
+		if b.MeanUtilization <= 0 || b.MeanUtilization > 1 {
+			t.Errorf("band %v..%v mean %v", b.LatLoDeg, b.LatHiDeg, b.MeanUtilization)
+		}
+		if b.MaxUtilization < b.MeanUtilization {
+			t.Errorf("band %v..%v max %v < mean %v", b.LatLoDeg, b.LatHiDeg, b.MaxUtilization, b.MeanUtilization)
+		}
+		// Kuiper ISL midpoints stay within |lat| <= ~52.
+		if b.LatHiDeg < -60 || b.LatLoDeg > 60 {
+			t.Errorf("implausible band %v..%v for a 51.9-degree shell", b.LatLoDeg, b.LatHiDeg)
+		}
+	}
+	if totalLinks != 20 {
+		t.Errorf("binned %d links, want 20", totalLinks)
+	}
+	if _, err := HotspotsByLatitude(topo, loads, 0, 0); err == nil {
+		t.Error("zero band width accepted")
+	}
+}

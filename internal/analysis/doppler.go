@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"hypatia/internal/constellation"
+	"hypatia/internal/geom"
+)
+
+// ISLDynamics describes the instantaneous kinematics of one inter-satellite
+// link: its length, the rate at which that length changes, and the
+// resulting Doppler factor. The paper's §7 names modeling the Doppler
+// effect on ISL bandwidth/reliability as future work; this provides the
+// kinematic inputs for such models.
+type ISLDynamics struct {
+	A, B      int     // satellite indices
+	Length    float64 // meters
+	RangeRate float64 // m/s; positive when the satellites separate
+	// DopplerShiftPerHz is the fractional carrier shift -RangeRate/c: a
+	// 193 THz optical carrier (1550 nm) shifts by this fraction times
+	// 193e12 Hz.
+	DopplerShiftPerHz float64
+}
+
+// ISLDynamicsAt computes the kinematics of every ISL at time t, using the
+// propagators' analytic velocities. Intra-orbit +Grid links have near-zero
+// range rate (the satellites move in lockstep); inter-orbit links oscillate
+// as the planes converge near the inclination limits and diverge over the
+// Equator.
+func ISLDynamicsAt(c *constellation.Constellation, t float64) []ISLDynamics {
+	type state struct {
+		pos, vel geom.Vec3
+	}
+	states := make([]state, c.NumSatellites())
+	for i := range states {
+		st := c.Satellites[i].Propagator.StateECI(t)
+		states[i] = state{pos: st.Position, vel: st.Velocity}
+	}
+	out := make([]ISLDynamics, len(c.ISLs))
+	for k, isl := range c.ISLs {
+		d := states[isl.A].pos.Sub(states[isl.B].pos)
+		length := d.Norm()
+		rate := 0.0
+		if length > 0 {
+			rate = states[isl.A].vel.Sub(states[isl.B].vel).Dot(d) / length
+		}
+		out[k] = ISLDynamics{
+			A: isl.A, B: isl.B,
+			Length:            length,
+			RangeRate:         rate,
+			DopplerShiftPerHz: -rate / geom.SpeedOfLight,
+		}
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"hypatia/internal/constellation"
+	"hypatia/internal/geom"
+)
+
+func TestISLDynamics(t *testing.T) {
+	c, err := constellation.Generate(constellation.Kuiper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := ISLDynamicsAt(c, 50)
+	if len(dyn) != len(c.ISLs) {
+		t.Fatalf("dynamics for %d of %d ISLs", len(dyn), len(c.ISLs))
+	}
+	orbitalSpeed := c.Satellites[0].Elements.Speed()
+	maxIntra, maxInter := 0.0, 0.0
+	for _, d := range dyn {
+		if d.Length <= 0 || d.Length > constellation.MaxISLRange(630e3) {
+			t.Fatalf("ISL %d-%d length %v implausible", d.A, d.B, d.Length)
+		}
+		// Relative speed can never exceed twice the orbital speed.
+		if math.Abs(d.RangeRate) > 2*orbitalSpeed {
+			t.Fatalf("ISL %d-%d range rate %v exceeds 2x orbital speed", d.A, d.B, d.RangeRate)
+		}
+		// Doppler factor consistency.
+		if want := -d.RangeRate / geom.SpeedOfLight; math.Abs(d.DopplerShiftPerHz-want) > 1e-18 {
+			t.Fatalf("Doppler factor inconsistent")
+		}
+		a, b := c.Satellites[d.A], c.Satellites[d.B]
+		if a.Orbit == b.Orbit && a.ShellIndex == b.ShellIndex {
+			maxIntra = math.Max(maxIntra, math.Abs(d.RangeRate))
+		} else {
+			maxInter = math.Max(maxInter, math.Abs(d.RangeRate))
+		}
+	}
+	// Intra-orbit neighbors move in lockstep: range rates near zero.
+	// Inter-orbit links breathe as planes converge and diverge.
+	if maxIntra > 1 {
+		t.Errorf("intra-orbit range rate up to %v m/s, want ~0", maxIntra)
+	}
+	if maxInter < 10 {
+		t.Errorf("inter-orbit range rates all below 10 m/s (max %v); expected breathing", maxInter)
+	}
+}
+
+func TestISLDynamicsChangesOverTime(t *testing.T) {
+	c, err := constellation.Generate(constellation.Telesat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := ISLDynamicsAt(c, 0)
+	d1 := ISLDynamicsAt(c, 300)
+	changed := 0
+	for i := range d0 {
+		if math.Abs(d0[i].Length-d1[i].Length) > 1000 {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("no ISL changed length over 5 minutes")
+	}
+}

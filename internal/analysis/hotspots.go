@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"fmt"
+
+	"hypatia/internal/geom"
+	"hypatia/internal/routing"
+)
+
+// LatBandLoad aggregates directed-link utilization by the latitude band of
+// the link midpoint. It quantifies the paper's Fig 15 observation that, for
+// the city traffic matrix, the hot ISLs cluster over specific regions
+// (trans-Atlantic / mid-latitudes) rather than being spread uniformly.
+type LatBandLoad struct {
+	LatLoDeg, LatHiDeg float64
+	Links              int     // loaded links whose midpoint falls in the band
+	MeanUtilization    float64 // mean over those links
+	MaxUtilization     float64
+}
+
+// LoadedLink pairs a directed link with its utilization, as produced by the
+// experiment harness's link monitor.
+type LoadedLink struct {
+	From, To    int
+	Utilization float64
+}
+
+// HotspotsByLatitude bins loaded links into latitude bands of the given
+// width (degrees) using link midpoints at time t.
+func HotspotsByLatitude(topo *routing.Topology, loads []LoadedLink, t float64, bandDeg float64) ([]LatBandLoad, error) {
+	if bandDeg <= 0 || bandDeg > 180 {
+		return nil, fmt.Errorf("analysis: band width %v out of range", bandDeg)
+	}
+	pos := topo.NodePositions(t, nil)
+	nBands := int(180/bandDeg) + 1
+	bands := make([]LatBandLoad, nBands)
+	for i := range bands {
+		bands[i].LatLoDeg = -90 + float64(i)*bandDeg
+		bands[i].LatHiDeg = bands[i].LatLoDeg + bandDeg
+	}
+	for _, l := range loads {
+		if l.Utilization <= 0 {
+			continue
+		}
+		mid := pos[l.From].Add(pos[l.To]).Scale(0.5)
+		lat := geom.Deg(geom.ECEFToLLA(mid).Lat)
+		idx := int((lat + 90) / bandDeg)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= nBands {
+			idx = nBands - 1
+		}
+		b := &bands[idx]
+		b.Links++
+		b.MeanUtilization += l.Utilization
+		if l.Utilization > b.MaxUtilization {
+			b.MaxUtilization = l.Utilization
+		}
+	}
+	out := bands[:0]
+	for _, b := range bands {
+		if b.Links > 0 {
+			b.MeanUtilization /= float64(b.Links)
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}

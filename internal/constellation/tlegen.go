@@ -1,0 +1,25 @@
+package constellation
+
+import (
+	"strings"
+
+	"hypatia/internal/tle"
+)
+
+// TLECatalog renders the whole constellation as a catalog of two-line
+// element sets at the given epoch, in the WGS72 standard. This mirrors the
+// paper's utility for generating TLEs for satellites that are not yet in
+// orbit from the Keplerian parameters in operator filings, so the
+// constellation can be consumed by external astrodynamics tooling.
+func (c *Constellation) TLECatalog(epochYear int, epochDay float64) (string, error) {
+	var b strings.Builder
+	for i, s := range c.Satellites {
+		t, err := tle.FromElements(s.Name, i+1, epochYear, epochDay, s.Elements)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}

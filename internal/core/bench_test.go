@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"hypatia/internal/constellation"
+	"hypatia/internal/groundstation"
+	"hypatia/internal/routing"
+	"hypatia/internal/sim"
+	"hypatia/internal/transport"
+)
+
+// Ablation: forwarding-state granularity cost. Finer time-steps mean more
+// expensive shortest-path recomputation per simulated second (paper §5.3
+// picks 100 ms as the accuracy/cost compromise).
+func BenchmarkAblationForwardingGranularity(b *testing.B) {
+	for _, interval := range []sim.Time{50 * sim.Millisecond, 100 * sim.Millisecond, sim.Second} {
+		b.Run(fmt.Sprintf("interval=%v", interval), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run, err := NewRun(RunConfig{
+					Constellation:  constellation.Kuiper(),
+					GroundStations: groundstation.Top100Cities(),
+					Duration:       2 * sim.Second,
+					UpdateInterval: interval,
+					ActiveDstGS:    []int{0, 1},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				run.Execute()
+			}
+		})
+	}
+}
+
+// Ablation: worker count for parallel forwarding-state computation.
+func BenchmarkAblationForwardingWorkers(b *testing.B) {
+	c, err := constellation.Generate(constellation.Kuiper())
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo, err := routing.NewTopology(c, groundstation.Top100Cities(), routing.GSLFree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := topo.Snapshot(0)
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = ForwardingTableParallel(snap, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkPacketForwardingRate measures end-to-end packet throughput of
+// the simulator for a single saturating TCP flow over Kuiper K1.
+func BenchmarkPacketForwardingRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run, err := NewRun(RunConfig{
+			Constellation:  constellation.Kuiper(),
+			GroundStations: groundstation.Top100Cities(),
+			Duration:       2 * sim.Second,
+			ActiveDstGS:    []int{0, 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		transport.NewTCPFlow(run.Net, run.Flows, 0, 1, transport.TCPConfig{}).Start()
+		run.Execute()
+		if i == 0 {
+			b.ReportMetric(float64(run.Sim.Processed())/2, "events/vsec")
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package core is the Hypatia orchestrator: it wires a constellation,
+// ground stations, routing, and the packet simulator into a runnable
+// experiment. It owns the paper's two-layer time model — forwarding state
+// recomputed at a fixed granularity (default 100 ms) and installed as
+// simulator events, while link latencies evolve continuously in between —
+// and exposes the hooks experiments use to attach transports and record
+// metrics.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"hypatia/internal/constellation"
+	"hypatia/internal/groundstation"
+	"hypatia/internal/routing"
+	"hypatia/internal/sim"
+	"hypatia/internal/transport"
+)
+
+// RunConfig describes one packet-level simulation run.
+type RunConfig struct {
+	// Constellation to generate (e.g. constellation.Kuiper()).
+	Constellation constellation.Config
+	// GroundStations to place (e.g. groundstation.Top100Cities()).
+	GroundStations []groundstation.GS
+	// GSLPolicy is how ground stations attach to satellites.
+	GSLPolicy routing.GSLPolicy
+	// Duration of the simulation; default 200 s (the paper's horizon).
+	Duration sim.Time
+	// UpdateInterval is the forwarding-state granularity; default 100 ms.
+	UpdateInterval sim.Time
+	// Net carries link rates and queue sizes; zero value means
+	// sim.DefaultConfig().
+	Net sim.Config
+	// ActiveDstGS optionally restricts forwarding-state computation to the
+	// ground stations that actually receive traffic, which keeps pair
+	// studies cheap. Nil computes state for every ground station.
+	ActiveDstGS []int
+	// Workers bounds the parallelism of forwarding-state computation;
+	// 0 uses a sensible default. Parallelism does not affect results:
+	// per-destination trees are independent.
+	Workers int
+	// Strategy optionally replaces shortest-path routing: it is called at
+	// every forwarding update with the current snapshot, the active
+	// destination set (nil = all), and the worker budget, and returns the
+	// forwarding state to install. This is the paper's "any routing
+	// strategy implementable with static routes" extension point.
+	Strategy Strategy
+}
+
+// Strategy computes a forwarding table from a topology snapshot. active
+// lists the destination ground stations that will receive traffic (nil
+// means all); workers bounds internal parallelism.
+type Strategy func(s *routing.Snapshot, active []int, workers int) *routing.ForwardingTable
+
+// ShortestPath is the default routing strategy: per-destination Dijkstra
+// over link distances (lowest propagation latency), as in the paper.
+func ShortestPath(s *routing.Snapshot, active []int, workers int) *routing.ForwardingTable {
+	if active == nil {
+		return ForwardingTableParallel(s, workers)
+	}
+	return PartialForwardingTable(s, active, workers)
+}
+
+// AvoidNodes wraps a strategy so the given nodes are excluded from all
+// paths — e.g. satellites marked failed or in maintenance. It recomputes
+// the inner strategy on a snapshot whose graph omits the nodes' edges.
+func AvoidNodes(inner Strategy, nodes ...int) Strategy {
+	avoid := map[int]bool{}
+	for _, n := range nodes {
+		avoid[n] = true
+	}
+	return func(s *routing.Snapshot, active []int, workers int) *routing.ForwardingTable {
+		pruned := s.WithoutNodes(avoid)
+		return inner(pruned, active, workers)
+	}
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Duration == 0 {
+		c.Duration = 200 * sim.Second
+	}
+	if c.UpdateInterval == 0 {
+		c.UpdateInterval = 100 * sim.Millisecond
+	}
+	c.Net = c.Net.WithDefaults()
+	if c.Workers == 0 {
+		c.Workers = 8
+	}
+	return c
+}
+
+// Run is a fully wired simulation ready for transports to be attached.
+type Run struct {
+	Cfg   RunConfig
+	Topo  *routing.Topology
+	Sim   *sim.Simulator
+	Net   *sim.Network
+	Flows *transport.FlowIDs
+
+	updatesInstalled int
+}
+
+// NewRun generates the constellation, builds the network, installs the t=0
+// forwarding state, and schedules periodic forwarding updates across the
+// run's duration.
+func NewRun(cfg RunConfig) (*Run, error) {
+	cfg = cfg.withDefaults()
+	c, err := constellation.Generate(cfg.Constellation)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	topo, err := routing.NewTopology(c, cfg.GroundStations, cfg.GSLPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	s := sim.NewSimulator()
+	net, err := sim.NewNetwork(s, topo, cfg.Net)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	r := &Run{Cfg: cfg, Topo: topo, Sim: s, Net: net, Flows: &transport.FlowIDs{}}
+
+	net.InstallForwarding(r.forwardingAt(0))
+	r.updatesInstalled++
+	// Schedule the remaining updates, each recomputing state for its own
+	// instant when the event fires.
+	for at := cfg.UpdateInterval; at <= cfg.Duration; at += cfg.UpdateInterval {
+		at := at
+		s.ScheduleAt(at, func() {
+			net.InstallForwarding(r.forwardingAt(at.Seconds()))
+			r.updatesInstalled++
+		})
+	}
+	return r, nil
+}
+
+// forwardingAt computes the forwarding state for time t via the configured
+// strategy (shortest-path by default), restricted to the active
+// destinations and parallelized across them.
+func (r *Run) forwardingAt(t float64) *routing.ForwardingTable {
+	snap := r.Topo.Snapshot(t)
+	strategy := r.Cfg.Strategy
+	if strategy == nil {
+		strategy = ShortestPath
+	}
+	return strategy(snap, r.Cfg.ActiveDstGS, r.Cfg.Workers)
+}
+
+// Execute runs the simulation to completion and returns the virtual
+// duration simulated.
+func (r *Run) Execute() sim.Time {
+	r.Sim.Run(r.Cfg.Duration)
+	return r.Cfg.Duration
+}
+
+// UpdatesInstalled reports how many forwarding states have been installed
+// so far (including the initial one).
+func (r *Run) UpdatesInstalled() int { return r.updatesInstalled }
+
+// GSIndexByName resolves a ground-station name to its index in the run.
+func (r *Run) GSIndexByName(name string) (int, error) {
+	g, err := groundstation.ByName(r.Topo.GroundStations, name)
+	if err != nil {
+		return 0, err
+	}
+	for i, cand := range r.Topo.GroundStations {
+		if cand.ID == g.ID {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("core: station %q not found", name)
+}
+
+// ForwardingTableParallel computes the snapshot's full forwarding table
+// with per-destination Dijkstra trees computed on `workers` goroutines.
+// The result is identical to Snapshot.ForwardingTable.
+func ForwardingTableParallel(s *routing.Snapshot, workers int) *routing.ForwardingTable {
+	all := make([]int, s.Topo.NumGS())
+	for i := range all {
+		all[i] = i
+	}
+	return PartialForwardingTable(s, all, workers)
+}
+
+// PartialForwardingTable computes forwarding state only toward the given
+// destination ground stations; entries for other destinations report
+// unreachable. Traffic in an experiment flows only to destinations that
+// were declared active, so the partial table is behaviorally equivalent at
+// a fraction of the cost.
+func PartialForwardingTable(s *routing.Snapshot, dstGS []int, workers int) *routing.ForwardingTable {
+	ft := routing.NewEmptyForwardingTable(s.T, s.Topo.NumNodes(), s.Topo.NumGS())
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var dist []float64
+			var prev []int32
+			for gs := range jobs {
+				dist, prev = s.FromGS(gs, dist, prev)
+				ft.SetDestination(gs, prev)
+			}
+		}()
+	}
+	for _, gs := range dstGS {
+		jobs <- gs
+	}
+	close(jobs)
+	wg.Wait()
+	return ft
+}

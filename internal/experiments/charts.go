@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"hypatia/internal/analysis"
+	"hypatia/internal/plot"
+	"hypatia/internal/transport"
+)
+
+// seriesFromSamples converts a transport time series to plot arrays with an
+// optional y scale (e.g. 1e3 for seconds -> ms).
+func seriesFromSamples(s transport.Series, yScale float64) ([]float64, []float64) {
+	xs := make([]float64, s.Len())
+	ys := make([]float64, s.Len())
+	for i, smp := range s.Samples {
+		xs[i] = smp.T.Seconds()
+		ys[i] = smp.V * yScale
+	}
+	return xs, ys
+}
+
+// Fig3Chart renders one path study as the paper's Fig 3 panel: ping RTT,
+// computed RTT, and TCP per-packet RTT over time, in milliseconds.
+func Fig3Chart(s *PathStudy) (string, error) {
+	var pingX, pingY []float64
+	for _, p := range s.Pings {
+		if p.Replied {
+			pingX = append(pingX, p.SentAt.Seconds())
+			pingY = append(pingY, p.RTT.Seconds()*1e3)
+		}
+	}
+	compX := make([]float64, len(s.ComputedRTT))
+	compY := make([]float64, len(s.ComputedRTT))
+	for i, r := range s.ComputedRTT {
+		compX[i] = float64(i) * s.Step
+		if math.IsInf(r, 1) {
+			compY[i] = math.NaN() // line break during the outage
+		} else {
+			compY[i] = r * 1e3
+		}
+	}
+	tcpX, tcpY := seriesFromSamples(s.TCPRTT, 1e3)
+	return plot.Lines(plot.Options{
+		Title:  "Fig 3: " + s.Name,
+		XLabel: "time (s)",
+		YLabel: "RTT (ms)",
+	},
+		plot.Series{Name: "TCP per-packet", X: tcpX, Y: tcpY, Color: "#bbbbbb"},
+		plot.Series{Name: "Pings", X: pingX, Y: pingY, Color: "#1f77b4"},
+		plot.Series{Name: "Computed", X: compX, Y: compY, Color: "#d62728", Dashed: true},
+	)
+}
+
+// Fig4Chart renders a path study's congestion-window panel: cwnd with the
+// BDP+Q ceiling overlay, in packets.
+func Fig4Chart(s *PathStudy) (string, error) {
+	cwndX, cwndY := seriesFromSamples(s.Cwnd, 1)
+	bdpX := make([]float64, len(s.BDPPlusQ))
+	bdpY := make([]float64, len(s.BDPPlusQ))
+	for i, v := range s.BDPPlusQ {
+		bdpX[i] = float64(i) * s.Step
+		if math.IsInf(v, 1) {
+			bdpY[i] = math.NaN()
+		} else {
+			bdpY[i] = v
+		}
+	}
+	return plot.Lines(plot.Options{
+		Title:  "Fig 4: " + s.Name,
+		XLabel: "time (s)",
+		YLabel: "packets",
+		YMax:   600,
+	},
+		plot.Series{Name: "cwnd", X: cwndX, Y: cwndY, Color: "#1f77b4"},
+		plot.Series{Name: "BDP+Q", X: bdpX, Y: bdpY, Color: "#d62728", Dashed: true},
+	)
+}
+
+// Fig5Charts renders the Fig 5 panels: per-packet RTT, cwnd, and 100 ms
+// throughput for NewReno vs Vegas.
+func Fig5Charts(out map[transport.CCAlgorithm]*CCStudy) (map[string]string, error) {
+	reno, vegas := out[transport.NewReno], out[transport.Vegas]
+	charts := map[string]string{}
+
+	rX, rY := seriesFromSamples(reno.RTT, 1e3)
+	vX, vY := seriesFromSamples(vegas.RTT, 1e3)
+	svg, err := plot.Lines(plot.Options{
+		Title: "Fig 5(a): per-packet RTT", XLabel: "time (s)", YLabel: "RTT (ms)",
+	},
+		plot.Series{Name: "NewReno", X: rX, Y: rY},
+		plot.Series{Name: "Vegas", X: vX, Y: vY},
+	)
+	if err != nil {
+		return nil, err
+	}
+	charts["fig5a-rtt"] = svg
+
+	rX, rY = seriesFromSamples(reno.Cwnd, 1)
+	vX, vY = seriesFromSamples(vegas.Cwnd, 1)
+	svg, err = plot.Lines(plot.Options{
+		Title: "Fig 5(b): congestion window", XLabel: "time (s)", YLabel: "packets", YMax: 600,
+	},
+		plot.Series{Name: "NewReno", X: rX, Y: rY},
+		plot.Series{Name: "Vegas", X: vX, Y: vY},
+	)
+	if err != nil {
+		return nil, err
+	}
+	charts["fig5b-cwnd"] = svg
+
+	toXY := func(samples []transport.Sample) ([]float64, []float64) {
+		xs := make([]float64, len(samples))
+		ys := make([]float64, len(samples))
+		for i, s := range samples {
+			xs[i] = s.T.Seconds()
+			ys[i] = s.V / 1e6
+		}
+		return xs, ys
+	}
+	rX, rY = toXY(reno.Throughput)
+	vX, vY = toXY(vegas.Throughput)
+	svg, err = plot.Lines(plot.Options{
+		Title: "Fig 5(c): throughput (100 ms windows)", XLabel: "time (s)", YLabel: "Mbit/s",
+	},
+		plot.Series{Name: "NewReno", X: rX, Y: rY},
+		plot.Series{Name: "Vegas", X: vX, Y: vY},
+	)
+	if err != nil {
+		return nil, err
+	}
+	charts["fig5c-throughput"] = svg
+	return charts, nil
+}
+
+// Fig6to8Charts renders the constellation-wide CDFs: max-RTT/geodesic
+// (Fig 6), max RTT, spread, and ratio (Fig 7), and path changes plus
+// hop-count deltas (Fig 8).
+func Fig6to8Charts(all []*ConstellationStats) (map[string]string, error) {
+	colors := map[string]string{"Starlink": "#d62728", "Kuiper": "#1f77b4", "Telesat": "#2ca02c"}
+	charts := map[string]string{}
+	metric := func(name, xlabel string, f func(analysis.PairStats) float64, xmax float64) error {
+		var series []plot.Series
+		for _, c := range all {
+			var vals []float64
+			for _, s := range c.Stats {
+				if s.Connected() {
+					vals = append(vals, f(s))
+				}
+			}
+			series = append(series, plot.Series{Name: c.Name, X: vals, Color: colors[c.Name]})
+		}
+		svg, err := plot.CDF(plot.Options{Title: name, XLabel: xlabel, XMax: xmax}, series...)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		charts[name] = svg
+		return nil
+	}
+	if err := metric("fig6-max-rtt-over-geodesic", "max RTT / geodesic RTT",
+		analysis.PairStats.MaxOverGeodesic, 7); err != nil {
+		return nil, err
+	}
+	if err := metric("fig7a-max-rtt", "max RTT (ms)",
+		func(s analysis.PairStats) float64 { return s.MaxRTT * 1e3 }, 0); err != nil {
+		return nil, err
+	}
+	if err := metric("fig7b-rtt-spread", "max RTT - min RTT (ms)",
+		func(s analysis.PairStats) float64 { return s.RTTSpread() * 1e3 }, 0); err != nil {
+		return nil, err
+	}
+	if err := metric("fig7c-rtt-ratio", "max RTT / min RTT",
+		analysis.PairStats.RTTRatio, 0); err != nil {
+		return nil, err
+	}
+	if err := metric("fig8a-path-changes", "# of path changes",
+		func(s analysis.PairStats) float64 { return float64(s.PathChanges) }, 0); err != nil {
+		return nil, err
+	}
+	if err := metric("fig8b-hop-delta", "max hops - min hops",
+		func(s analysis.PairStats) float64 { return float64(s.MaxHops - s.MinHops) }, 0); err != nil {
+		return nil, err
+	}
+	if err := metric("fig8c-hop-ratio", "max hops / min hops",
+		func(s analysis.PairStats) float64 { return float64(s.MaxHops) / float64(s.MinHops) }, 0); err != nil {
+		return nil, err
+	}
+	return charts, nil
+}
+
+// Fig10Chart renders the unused-bandwidth series of the observed pair for
+// the dynamic and frozen networks.
+func Fig10Chart(res *CrossTrafficResult) (string, error) {
+	toXY := func(series []float64) ([]float64, []float64) {
+		xs := make([]float64, len(series))
+		ys := make([]float64, len(series))
+		for i, v := range series {
+			xs[i] = float64(i)
+			if math.IsNaN(v) {
+				ys[i] = math.NaN()
+			} else {
+				ys[i] = v / 1e6
+			}
+		}
+		return xs, ys
+	}
+	dX, dY := toXY(res.UnusedBandwidth)
+	sX, sY := toXY(res.StaticUnused)
+	return plot.Lines(plot.Options{
+		Title:  "Fig 10: unused bandwidth (Rio de Janeiro - Saint Petersburg)",
+		XLabel: "time (s)",
+		YLabel: "unused bandwidth (Mbit/s)",
+	},
+		plot.Series{Name: "LEO dynamics", X: dX, Y: dY},
+		plot.Series{Name: "frozen at t=0", X: sX, Y: sY, Color: "#888888", Dashed: true},
+	)
+}
+
+// Fig18Chart renders the ISL vs bent-pipe computed-RTT comparison.
+func Fig18Chart(res *BentPipeResult) (string, error) {
+	toXY := func(series []float64) ([]float64, []float64) {
+		xs := make([]float64, len(series))
+		ys := make([]float64, len(series))
+		for i, v := range series {
+			xs[i] = float64(i)
+			if math.IsInf(v, 1) {
+				ys[i] = math.NaN()
+			} else {
+				ys[i] = v * 1e3
+			}
+		}
+		return xs, ys
+	}
+	iX, iY := toXY(res.ISLComputedRTT)
+	bX, bY := toXY(res.BentComputedRTT)
+	return plot.Lines(plot.Options{
+		Title:  "Fig 18(c): Paris - Moscow computed RTT",
+		XLabel: "time (s)",
+		YLabel: "RTT (ms)",
+	},
+		plot.Series{Name: "ISLs", X: iX, Y: iY},
+		plot.Series{Name: "bent-pipe", X: bX, Y: bY},
+	)
+}
+
+// Fig19Chart renders the ISL vs bent-pipe congestion windows.
+func Fig19Chart(res *BentPipeResult) (string, error) {
+	iX, iY := seriesFromSamples(res.ISLFlow.CwndLog, 1)
+	bX, bY := seriesFromSamples(res.BentFlow.CwndLog, 1)
+	return plot.Lines(plot.Options{
+		Title:  "Fig 19: Paris - Moscow TCP congestion window",
+		XLabel: "time (s)",
+		YLabel: "packets",
+		YMax:   600,
+	},
+		plot.Series{Name: "ISLs", X: iX, Y: iY},
+		plot.Series{Name: "bent-pipe", X: bX, Y: bY},
+	)
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"strings"
+
+	"hypatia/internal/constellation"
+	"hypatia/internal/routing"
+	"testing"
+
+	"hypatia/internal/sim"
+)
+
+func checkChart(t *testing.T, name, svg string) {
+	t.Helper()
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "<polyline") {
+		t.Errorf("%s: not a chart", name)
+	}
+}
+
+func TestFigureCharts(t *testing.T) {
+	// One small end-to-end pass producing every chart kind.
+	studies, _, err := Fig3and4PathStudies(Scale{Duration: 4}, 50*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range studies {
+		svg, err := Fig3Chart(s)
+		if err != nil {
+			t.Fatalf("Fig3Chart(%s): %v", s.Name, err)
+		}
+		checkChart(t, "fig3", svg)
+		svg, err = Fig4Chart(s)
+		if err != nil {
+			t.Fatalf("Fig4Chart(%s): %v", s.Name, err)
+		}
+		checkChart(t, "fig4", svg)
+	}
+
+	cc, _, err := Fig5LossVsDelayCC(Scale{Duration: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	charts, err := Fig5Charts(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(charts) != 3 {
+		t.Fatalf("fig5 charts = %d", len(charts))
+	}
+	for name, svg := range charts {
+		checkChart(t, name, svg)
+	}
+
+	all, _, err := Fig6to8Analysis(Scale{Duration: 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdfs, err := Fig6to8Charts(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cdfs) != 7 {
+		t.Fatalf("fig6-8 charts = %d", len(cdfs))
+	}
+	for name, svg := range cdfs {
+		checkChart(t, name, svg)
+	}
+
+	ct, _, err := Fig10to15CrossTraffic(CrossTrafficConfig{Scale: Scale{Duration: 4, Pairs: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg, err := Fig10Chart(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkChart(t, "fig10", svg)
+
+	bp, _, err := AppendixBentPipe(BentPipeConfig{Scale: Scale{Duration: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg, err = Fig18Chart(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkChart(t, "fig18", svg)
+	svg, err = Fig19Chart(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkChart(t, "fig19", svg)
+}
+
+func TestHotspotBands(t *testing.T) {
+	res, _, err := Fig10to15CrossTraffic(CrossTrafficConfig{Scale: Scale{Duration: 4, Pairs: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := buildTopologyForTest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bands, err := res.HotspotBands(c, 2, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NetworkLoads) > 0 && len(bands) == 0 {
+		t.Error("loads present but no bands")
+	}
+}
+
+func buildTopologyForTest() (*routing.Topology, error) {
+	return buildTopology(constellation.Kuiper(), PaperCities())
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"hypatia/internal/analysis"
+	"hypatia/internal/constellation"
+	"hypatia/internal/groundstation"
+)
+
+// CoverageReport scans each paper constellation's connectivity from a
+// latitude ladder of cities and reports covered fractions, mean connectable
+// satellites, and worst outages — the quantitative form of the paper's
+// coverage discussion (§2.2: Kuiper eschews the poles, Telesat covers them;
+// S1 misses high latitudes).
+func CoverageReport(scanSeconds float64) (*Report, error) {
+	cities := []string{
+		"Singapore",        // ~1 N
+		"Nairobi",          // ~1 S
+		"Rio de Janeiro",   // ~23 S
+		"New York",         // ~41 N
+		"London",           // ~52 N
+		"Moscow",           // ~56 N
+		"Saint Petersburg", // ~60 N
+	}
+	all := groundstation.Top100Cities()
+	var gss []groundstation.GS
+	for i, name := range cities {
+		g := groundstation.MustByName(all, name)
+		g.ID = i
+		gss = append(gss, g)
+	}
+
+	rep := &Report{Title: "Coverage by latitude (scan window per constellation)"}
+	rep.Addf("%-10s %-18s %10s %12s %14s", "network", "city", "covered", "mean sats", "worst outage")
+	for _, cfg := range paperConstellations() {
+		c, err := constellation.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		stats, err := analysis.Coverage(c, gss, scanSeconds, 10)
+		if err != nil {
+			return nil, err
+		}
+		for _, st := range stats {
+			rep.Addf("%-10s %-18s %9.1f%% %12.1f %12.0fs",
+				cfg.Name, st.Name, 100*st.CoveredFrac, st.MeanVisible, st.LongestOutage())
+		}
+	}
+	return rep, nil
+}

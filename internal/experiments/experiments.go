@@ -1,0 +1,203 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Each driver builds its scenario from the same
+// primitives a user of the library would (constellation configs, the
+// 100-city ground-station set, the core orchestrator, transports), runs it,
+// and returns a result that can print the rows/series the paper reports.
+//
+// Scenario defaults follow the paper: Kuiper K1 unless stated otherwise,
+// the world's 100 most populous cities as ground stations, minimum
+// elevations of 25°/30°/10° for Starlink/Kuiper/Telesat, +Grid ISLs,
+// shortest-path routing recomputed every 100 ms, 10 Mbit/s links,
+// 100-packet queues, and 200 s simulations.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"hypatia/internal/constellation"
+	"hypatia/internal/groundstation"
+	"hypatia/internal/routing"
+	"hypatia/internal/sim"
+)
+
+// Seed is the fixed seed for all randomized workloads, making every
+// experiment reproducible bit-for-bit.
+const Seed = 20201027 // the paper's presentation date at IMC '20
+
+// Scale trims experiment horizons for quick runs. Full fidelity (the
+// paper's 200 s) is Scale = 1; benches default to a reduced horizon and
+// note it in their output.
+type Scale struct {
+	// Duration is the virtual horizon in seconds.
+	Duration float64
+	// Pairs caps the number of traffic pairs in constellation-wide packet
+	// experiments (0 = no cap).
+	Pairs int
+}
+
+// PaperScale reproduces the paper's full experiment horizon.
+func PaperScale() Scale { return Scale{Duration: 200} }
+
+// QuickScale is a reduced horizon for fast regression runs: the same
+// scenario shapes at a fraction of the virtual time.
+func QuickScale() Scale { return Scale{Duration: 20, Pairs: 20} }
+
+// PaperCities returns the paper's ground-station set.
+func PaperCities() []groundstation.GS { return groundstation.Top100Cities() }
+
+// PairByNames resolves two city names to ground-station indices.
+func PairByNames(gss []groundstation.GS, a, b string) (int, int) {
+	ga := groundstation.MustByName(gss, a)
+	gb := groundstation.MustByName(gss, b)
+	ia, ib := -1, -1
+	for i, g := range gss {
+		if g.ID == ga.ID {
+			ia = i
+		}
+		if g.ID == gb.ID {
+			ib = i
+		}
+	}
+	return ia, ib
+}
+
+// RandomPermutationPairs builds the paper's traffic matrix: a random
+// permutation over the ground stations, with fixed points skipped, yielding
+// one (src, dst) pair per station.
+func RandomPermutationPairs(n int, seed int64) [][2]int {
+	r := rand.New(rand.NewSource(seed))
+	perm := r.Perm(n)
+	var out [][2]int
+	for i, j := range perm {
+		if i == j {
+			continue
+		}
+		out = append(out, [2]int{i, j})
+	}
+	return out
+}
+
+// LinkKey identifies a directed link by node ids.
+type LinkKey struct{ From, To int }
+
+// LinkMonitor accumulates transmitted bytes per directed link per fixed
+// window, via the network's transmit hook. It backs the utilization
+// figures (10, 14, 15).
+type LinkMonitor struct {
+	Window  sim.Time
+	windows int
+	bytes   map[LinkKey][]int64
+}
+
+// NewLinkMonitor creates a monitor with the given window width covering
+// duration, and attaches it to the network.
+func NewLinkMonitor(n *sim.Network, window, duration sim.Time) *LinkMonitor {
+	m := &LinkMonitor{
+		Window:  window,
+		windows: int(duration/window) + 1,
+		bytes:   map[LinkKey][]int64{},
+	}
+	n.SetTransmitHook(func(ti sim.TransmitInfo) {
+		k := LinkKey{From: ti.From, To: ti.To}
+		w := int(ti.Start / window)
+		if w >= m.windows {
+			return
+		}
+		buckets, ok := m.bytes[k]
+		if !ok {
+			buckets = make([]int64, m.windows)
+			m.bytes[k] = buckets
+		}
+		buckets[w] += int64(ti.Packet.Size)
+	})
+	return m
+}
+
+// Utilization returns the link's utilization (0..1) in window w given the
+// link rate in bits/s.
+func (m *LinkMonitor) Utilization(k LinkKey, w int, rateBps float64) float64 {
+	buckets, ok := m.bytes[k]
+	if !ok || w < 0 || w >= m.windows {
+		return 0
+	}
+	return float64(buckets[w]*8) / (rateBps * m.Window.Seconds())
+}
+
+// Links returns all directed links that ever carried traffic, sorted for
+// deterministic iteration.
+func (m *LinkMonitor) Links() []LinkKey {
+	out := make([]LinkKey, 0, len(m.bytes))
+	for k := range m.bytes {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Windows returns the number of windows tracked.
+func (m *LinkMonitor) Windows() int { return m.windows }
+
+// MaxOnPathUtilization returns the utilization of the most-used directed
+// link along the node path in window w.
+func (m *LinkMonitor) MaxOnPathUtilization(path []int, w int, rateBps float64) float64 {
+	max := 0.0
+	for i := 0; i+1 < len(path); i++ {
+		if u := m.Utilization(LinkKey{From: path[i], To: path[i+1]}, w, rateBps); u > max {
+			max = u
+		}
+	}
+	return max
+}
+
+// Report is a formatted experiment result: a title, the regenerated
+// rows/series, and free-form notes comparing against the paper.
+type Report struct {
+	Title string
+	Lines []string
+}
+
+// Addf appends a formatted line.
+func (r *Report) Addf(format string, args ...interface{}) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	b.WriteString(r.Title)
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", len(r.Title)))
+	b.WriteByte('\n')
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// paperConstellations returns the three first-shell configurations the
+// constellation-wide sections compare.
+func paperConstellations() []constellation.Config {
+	return []constellation.Config{
+		constellation.Starlink(),
+		constellation.Kuiper(),
+		constellation.Telesat(),
+	}
+}
+
+// buildTopology generates a constellation and binds the ground stations.
+func buildTopology(cfg constellation.Config, gss []groundstation.GS) (*routing.Topology, error) {
+	c, err := constellation.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return routing.NewTopology(c, gss, routing.GSLFree)
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hypatia/internal/sim"
+	"hypatia/internal/transport"
+)
+
+// tinyScale keeps the drivers honest while staying fast enough for unit
+// tests; the benches in the repository root run the larger scales.
+func tinyScale() Scale { return Scale{Duration: 5, Pairs: 6} }
+
+func TestRandomPermutationPairs(t *testing.T) {
+	pairs := RandomPermutationPairs(100, Seed)
+	if len(pairs) < 95 {
+		t.Fatalf("only %d pairs (too many fixed points?)", len(pairs))
+	}
+	seenSrc := map[int]bool{}
+	for _, p := range pairs {
+		if p[0] == p[1] {
+			t.Fatal("fixed point in permutation pairs")
+		}
+		if seenSrc[p[0]] {
+			t.Fatal("duplicate source")
+		}
+		seenSrc[p[0]] = true
+	}
+	// Deterministic under the same seed.
+	again := RandomPermutationPairs(100, Seed)
+	for i := range pairs {
+		if pairs[i] != again[i] {
+			t.Fatal("permutation not deterministic")
+		}
+	}
+}
+
+func TestPairByNames(t *testing.T) {
+	gss := PaperCities()
+	a, b := PairByNames(gss, "Rio de Janeiro", "Saint Petersburg")
+	if a < 0 || b < 0 || a == b {
+		t.Fatalf("indices %d, %d", a, b)
+	}
+	if gss[a].Name != "Rio de Janeiro" || gss[b].Name != "Saint Petersburg" {
+		t.Error("wrong stations resolved")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rep, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	for _, want := range []string{"S1", "K1", "T1", "4409", "3236", "1671"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q", want)
+		}
+	}
+}
+
+func TestLinkMonitor(t *testing.T) {
+	s := sim.NewSimulator()
+	mon := &LinkMonitor{Window: sim.Second, windows: 3, bytes: map[LinkKey][]int64{}}
+	// Exercise the accounting path directly.
+	k := LinkKey{From: 1, To: 2}
+	mon.bytes[k] = make([]int64, 3)
+	mon.bytes[k][1] = 125_000 // 1 Mbit in window 1
+	if u := mon.Utilization(k, 1, 10e6); math.Abs(u-0.1) > 1e-9 {
+		t.Errorf("utilization = %v", u)
+	}
+	if u := mon.Utilization(k, 0, 10e6); u != 0 {
+		t.Errorf("empty window utilization = %v", u)
+	}
+	if u := mon.Utilization(LinkKey{From: 9, To: 9}, 0, 10e6); u != 0 {
+		t.Errorf("unknown link utilization = %v", u)
+	}
+	if u := mon.Utilization(k, 99, 10e6); u != 0 {
+		t.Errorf("out-of-range window = %v", u)
+	}
+	if got := mon.MaxOnPathUtilization([]int{0, 1, 2, 3}, 1, 10e6); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("max on path = %v", got)
+	}
+	if links := mon.Links(); len(links) != 1 || links[0] != k {
+		t.Errorf("links = %v", links)
+	}
+	_ = s
+}
+
+func TestFig2ScalabilitySmall(t *testing.T) {
+	points, rep, err := Fig2Scalability(ScalabilityConfig{
+		LineRates:      []float64{1e6, 5e6},
+		VirtualSeconds: 0.5,
+		Pairs:          5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 { // 2 transports x 2 rates
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.GoodputBps <= 0 {
+			t.Errorf("%s at %v: zero goodput", p.Transport, p.LineRateBps)
+		}
+		if p.Slowdown <= 0 || p.WallSec <= 0 {
+			t.Errorf("%s at %v: no wall time recorded", p.Transport, p.LineRateBps)
+		}
+		if p.Events == 0 {
+			t.Errorf("no events processed")
+		}
+	}
+	// Higher line rate must move more traffic for the same pairs.
+	if points[1].GoodputBps <= points[0].GoodputBps {
+		t.Errorf("UDP goodput did not scale with line rate: %v vs %v",
+			points[0].GoodputBps, points[1].GoodputBps)
+	}
+	if !strings.Contains(rep.String(), "slowdown") {
+		t.Error("report missing slowdown column")
+	}
+}
+
+func TestFig5LossVsDelaySmall(t *testing.T) {
+	out, rep, err := Fig5LossVsDelayCC(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reno, vegas := out[transport.NewReno], out[transport.Vegas]
+	if reno == nil || vegas == nil {
+		t.Fatal("missing algorithm results")
+	}
+	if reno.Goodput <= 0 {
+		t.Error("NewReno zero goodput")
+	}
+	if len(reno.Throughput) == 0 || len(vegas.Throughput) == 0 {
+		t.Error("missing throughput series")
+	}
+	if !strings.Contains(rep.String(), "Vegas") {
+		t.Error("report missing Vegas row")
+	}
+}
+
+func TestFig9GranularitySmall(t *testing.T) {
+	profiles, rep, err := Fig9TimeStepGranularity(Scale{Duration: 10, Pairs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 3 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	if profiles[0].Missed != nil {
+		t.Error("baseline should have no missed slice")
+	}
+	if profiles[1].Missed == nil || profiles[2].Missed == nil {
+		t.Error("coarser granularities missing missed counts")
+	}
+	if !strings.Contains(rep.String(), "baseline") {
+		t.Error("report missing baseline marker")
+	}
+}
+
+func TestFig11TrajectoriesSmokes(t *testing.T) {
+	svgs, czmls, rep, err := Fig11Trajectories()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Starlink", "Kuiper", "Telesat"} {
+		if !strings.HasPrefix(svgs[name], "<svg") {
+			t.Errorf("%s SVG malformed", name)
+		}
+		if len(czmls[name]) == 0 {
+			t.Errorf("%s CZML empty", name)
+		}
+	}
+	if !strings.Contains(rep.String(), "satellites") {
+		t.Error("report missing satellite counts")
+	}
+}
+
+func TestFig12GroundObserverSmokes(t *testing.T) {
+	res, rep, err := Fig12GroundObserver(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reachable) != 301 {
+		t.Fatalf("scan samples = %d", len(res.Reachable))
+	}
+	if res.ConnectedT >= 0 && res.ConnectedSVG == "" {
+		t.Error("connected SVG missing")
+	}
+	if rep.String() == "" {
+		t.Error("empty report")
+	}
+}
+
+func TestFig13PathEvolutionSmokes(t *testing.T) {
+	res, rep, err := Fig13PathEvolution(Scale{Duration: 60}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxRTT < res.MinRTT {
+		t.Error("RTT extremes inverted")
+	}
+	if len(res.MaxPath) < 3 || len(res.MinPath) < 3 {
+		t.Errorf("paths too short: %d, %d", len(res.MaxPath), len(res.MinPath))
+	}
+	if !strings.HasPrefix(res.MaxSVG, "<svg") || !strings.HasPrefix(res.MinSVG, "<svg") {
+		t.Error("path SVGs malformed")
+	}
+	if !strings.Contains(rep.String(), "Paris-Luanda") {
+		t.Error("report missing pair name")
+	}
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"hypatia/internal/constellation"
+	"hypatia/internal/core"
+	"hypatia/internal/sim"
+	"hypatia/internal/transport"
+)
+
+// ScalabilityPoint is one point of Fig 2: the wall-clock cost of simulating
+// a workload at a given goodput.
+type ScalabilityPoint struct {
+	Transport   string  // "tcp" or "udp"
+	LineRateBps float64 // uniform link rate of the scenario
+	GoodputBps  float64 // network-wide goodput achieved
+	VirtualSec  float64 // simulated seconds
+	WallSec     float64 // real seconds spent
+	Slowdown    float64 // WallSec / VirtualSec
+	Events      uint64  // discrete events processed
+}
+
+// ScalabilityConfig parameterizes the Fig 2 sweep.
+type ScalabilityConfig struct {
+	// LineRates to sweep; default the paper's set up to 250 Mbit/s
+	// (1 and 10 Gbit/s are reachable by appending to this slice).
+	LineRates []float64
+	// VirtualSeconds of traffic to simulate per point; default 2.
+	VirtualSeconds float64
+	// Pairs caps the traffic matrix size (0 = all 100 permutation pairs).
+	Pairs int
+	// Constellation; default Kuiper K1 as in the paper.
+	Constellation constellation.Config
+}
+
+func (c ScalabilityConfig) withDefaults() ScalabilityConfig {
+	if c.LineRates == nil {
+		c.LineRates = []float64{1e6, 10e6, 25e6, 100e6, 250e6}
+	}
+	if c.VirtualSeconds == 0 {
+		c.VirtualSeconds = 2
+	}
+	if c.Constellation.Shells == nil {
+		c.Constellation = constellation.Kuiper()
+	}
+	return c
+}
+
+// Fig2Scalability measures the simulator's slowdown (real time per virtual
+// second) as a function of achieved goodput, for TCP and UDP workloads over
+// Kuiper K1 with the 100-city random-permutation traffic matrix — the
+// experiment behind Fig 2. Absolute numbers depend on the host machine; the
+// paper's takeaway (slowdown scales with goodput; UDP is cheaper than TCP)
+// is machine-independent.
+func Fig2Scalability(cfg ScalabilityConfig) ([]ScalabilityPoint, *Report, error) {
+	cfg = cfg.withDefaults()
+	var points []ScalabilityPoint
+	for _, transportKind := range []string{"udp", "tcp"} {
+		for _, rate := range cfg.LineRates {
+			pt, err := scalabilityPoint(cfg, transportKind, rate)
+			if err != nil {
+				return nil, nil, err
+			}
+			points = append(points, pt)
+		}
+	}
+	rep := &Report{Title: "Fig 2: simulator scalability (slowdown vs goodput)"}
+	rep.Addf("%-5s %12s %14s %12s %10s %12s", "kind", "line rate", "goodput", "virtual s", "wall s", "slowdown")
+	for _, p := range points {
+		rep.Addf("%-5s %9.0f Mbps %11.3f Mbps %12.1f %10.2f %11.1fx",
+			p.Transport, p.LineRateBps/1e6, p.GoodputBps/1e6, p.VirtualSec, p.WallSec, p.Slowdown)
+	}
+	return points, rep, nil
+}
+
+func scalabilityPoint(cfg ScalabilityConfig, kind string, rate float64) (ScalabilityPoint, error) {
+	gss := PaperCities()
+	pairs := RandomPermutationPairs(len(gss), Seed)
+	if cfg.Pairs > 0 && len(pairs) > cfg.Pairs {
+		pairs = pairs[:cfg.Pairs]
+	}
+	// Forwarding state is needed toward receivers (data) and senders
+	// (ACKs flow back), so both ends of every pair are active.
+	dsts := map[int]bool{}
+	for _, p := range pairs {
+		dsts[p[0]] = true
+		dsts[p[1]] = true
+	}
+	var active []int
+	for d := range dsts {
+		active = append(active, d)
+	}
+
+	netCfg := sim.DefaultConfig()
+	netCfg.ISLRateBps = rate
+	netCfg.GSLRateBps = rate
+
+	run, err := core.NewRun(core.RunConfig{
+		Constellation:  cfg.Constellation,
+		GroundStations: gss,
+		Duration:       sim.Seconds(cfg.VirtualSeconds),
+		Net:            netCfg,
+		ActiveDstGS:    active,
+	})
+	if err != nil {
+		return ScalabilityPoint{}, err
+	}
+
+	var goodput func() float64
+	switch kind {
+	case "udp":
+		var flows []*transport.UDPFlow
+		for _, p := range pairs {
+			f := transport.NewUDPFlow(run.Net, run.Flows, p[0], p[1], transport.UDPConfig{RateBps: rate})
+			f.Start()
+			flows = append(flows, f)
+		}
+		goodput = func() float64 {
+			total := 0.0
+			for _, f := range flows {
+				total += f.GoodputBps(run.Cfg.Duration)
+			}
+			return total
+		}
+	case "tcp":
+		var flows []*transport.TCPFlow
+		for _, p := range pairs {
+			f := transport.NewTCPFlow(run.Net, run.Flows, p[0], p[1], transport.TCPConfig{})
+			f.Start()
+			flows = append(flows, f)
+		}
+		goodput = func() float64 {
+			total := 0.0
+			for _, f := range flows {
+				total += f.GoodputBps(run.Cfg.Duration)
+			}
+			return total
+		}
+	default:
+		return ScalabilityPoint{}, fmt.Errorf("experiments: unknown transport %q", kind)
+	}
+
+	start := time.Now()
+	run.Execute()
+	wall := time.Since(start).Seconds()
+
+	return ScalabilityPoint{
+		Transport:   kind,
+		LineRateBps: rate,
+		GoodputBps:  goodput(),
+		VirtualSec:  cfg.VirtualSeconds,
+		WallSec:     wall,
+		Slowdown:    wall / cfg.VirtualSeconds,
+		Events:      run.Sim.Processed(),
+	}, nil
+}

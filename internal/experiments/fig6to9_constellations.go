@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hypatia/internal/analysis"
+	"hypatia/internal/constellation"
+)
+
+// ExcludeCloserThan is the paper's cutoff: pairs of cities within 500 km
+// are excluded from constellation-wide statistics.
+const ExcludeCloserThan = 500e3
+
+// ConstellationStats bundles per-pair statistics for one constellation.
+type ConstellationStats struct {
+	Name  string
+	Stats []analysis.PairStats
+}
+
+// connected filters to pairs that ever had a route.
+func (c *ConstellationStats) connected() []analysis.PairStats {
+	var out []analysis.PairStats
+	for _, s := range c.Stats {
+		if s.Connected() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Fig6to8Analysis steps Starlink S1, Kuiper K1, and Telesat T1 over the
+// horizon and aggregates the distributions behind Figs 6, 7, and 8: RTT
+// extremes relative to the geodesic, RTT variation, and path-structure
+// churn. step is the snapshot granularity in seconds (the paper uses 0.1;
+// coarser values trade some change-detection fidelity for speed, see
+// Fig 9).
+func Fig6to8Analysis(scale Scale, step float64) ([]*ConstellationStats, *Report, error) {
+	gss := PaperCities()
+	var all []*ConstellationStats
+	for _, cfg := range paperConstellations() {
+		topo, err := buildTopology(cfg, gss)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats, err := analysis.AnalyzePairs(topo, analysis.Config{
+			Duration:               scale.Duration,
+			Step:                   step,
+			ExcludePairsCloserThan: ExcludeCloserThan,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		all = append(all, &ConstellationStats{Name: cfg.Name, Stats: stats})
+	}
+
+	rep := &Report{Title: "Figs 6-8: constellation-wide RTTs, variation, and path churn"}
+	rep.Addf("horizon %.0fs, step %.2fs, pairs >%.0f km apart", scale.Duration, step, ExcludeCloserThan/1000)
+	rep.Addf("")
+	rep.Addf("Fig 6 (max RTT / geodesic RTT):")
+	rep.Addf("%-10s %8s %8s %12s", "network", "median", "p90", "frac < 2x")
+	for _, c := range all {
+		conn := c.connected()
+		var ratios []float64
+		for _, s := range conn {
+			ratios = append(ratios, s.MaxOverGeodesic())
+		}
+		e := analysis.NewECDF(ratios)
+		rep.Addf("%-10s %8.2f %8.2f %11.1f%%", c.Name, e.Median(), e.Quantile(0.9), 100*e.FractionBelow(2))
+	}
+	rep.Addf("")
+	rep.Addf("Fig 7 (RTT and variation across pairs):")
+	rep.Addf("%-10s %12s %14s %14s %16s", "network", "med maxRTT", "med max-min", "med max/min", "frac ratio>1.2")
+	for _, c := range all {
+		conn := c.connected()
+		var maxes, spreads, ratios []float64
+		for _, s := range conn {
+			maxes = append(maxes, s.MaxRTT*1e3)
+			spreads = append(spreads, s.RTTSpread()*1e3)
+			ratios = append(ratios, s.RTTRatio())
+		}
+		em, es, er := analysis.NewECDF(maxes), analysis.NewECDF(spreads), analysis.NewECDF(ratios)
+		rep.Addf("%-10s %10.1fms %12.1fms %14.3f %15.1f%%",
+			c.Name, em.Median(), es.Median(), er.Median(), 100*(1-er.FractionBelow(1.2)))
+	}
+	rep.Addf("")
+	rep.Addf("Fig 8 (path changes and hop-count variation):")
+	rep.Addf("%-10s %12s %14s %14s", "network", "med changes", "med hop delta", "med hop ratio")
+	for _, c := range all {
+		conn := c.connected()
+		var changes, hopDelta, hopRatio []float64
+		for _, s := range conn {
+			changes = append(changes, float64(s.PathChanges))
+			hopDelta = append(hopDelta, float64(s.MaxHops-s.MinHops))
+			hopRatio = append(hopRatio, float64(s.MaxHops)/float64(s.MinHops))
+		}
+		rep.Addf("%-10s %12.0f %14.0f %14.3f",
+			c.Name,
+			analysis.NewECDF(changes).Median(),
+			analysis.NewECDF(hopDelta).Median(),
+			analysis.NewECDF(hopRatio).Median())
+	}
+	return all, rep, nil
+}
+
+// GranularityProfile is one granularity's outcome in the Fig 9 study.
+type GranularityProfile struct {
+	StepSec float64
+	Profile *analysis.ChangeProfile
+	// Missed[i] counts per-pair changes the baseline saw but this
+	// granularity did not (nil for the baseline itself).
+	Missed []int
+}
+
+// Fig9TimeStepGranularity recomputes Kuiper K1 path changes at 50 ms
+// (baseline), 100 ms, and 1000 ms forwarding-state granularities and
+// reports how many changes coarser time-steps miss — the experiment that
+// justifies the paper's 100 ms default.
+func Fig9TimeStepGranularity(scale Scale) ([]*GranularityProfile, *Report, error) {
+	topo, err := buildTopology(constellation.Kuiper(), PaperCities())
+	if err != nil {
+		return nil, nil, err
+	}
+	pairs := RandomPermutationPairs(topo.NumGS(), Seed)
+	if scale.Pairs > 0 && len(pairs) > scale.Pairs {
+		pairs = pairs[:scale.Pairs]
+	}
+
+	steps := []float64{0.05, 0.1, 1.0}
+	var profiles []*GranularityProfile
+	for _, stepSec := range steps {
+		prof, err := analysis.PathChangeProfile(topo, analysis.Config{
+			Duration: scale.Duration,
+			Step:     stepSec,
+			Pairs:    pairs,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		profiles = append(profiles, &GranularityProfile{StepSec: stepSec, Profile: prof})
+	}
+	base := profiles[0]
+	for _, p := range profiles[1:] {
+		missed, err := analysis.MissedChanges(base.Profile, p.Profile)
+		if err != nil {
+			return nil, nil, err
+		}
+		p.Missed = missed
+	}
+
+	rep := &Report{Title: "Fig 9: forwarding-state time-step granularity (Kuiper K1)"}
+	rep.Addf("horizon %.0fs, %d pairs; baseline 50 ms", scale.Duration, len(pairs))
+	rep.Addf("%-10s %14s %18s %20s", "time-step", "total changes", "vs 50ms baseline", "pairs missing >=1")
+	for _, p := range profiles {
+		total := 0
+		for _, c := range p.Profile.PerPair {
+			total += c
+		}
+		ratio := "baseline"
+		missing := "-"
+		if p.Missed != nil {
+			baseTotal := 0
+			for _, c := range base.Profile.PerPair {
+				baseTotal += c
+			}
+			if baseTotal > 0 {
+				ratio = fmt.Sprintf("%.1f%% seen", 100*float64(total)/float64(baseTotal))
+			}
+			n := 0
+			for _, m := range p.Missed {
+				if m > 0 {
+					n++
+				}
+			}
+			missing = fmt.Sprintf("%.1f%%", 100*float64(n)/float64(len(p.Missed)))
+		}
+		rep.Addf("%7.0fms %14d %18s %20s", p.StepSec*1e3, total, ratio, missing)
+	}
+	return profiles, rep, nil
+}

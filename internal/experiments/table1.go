@@ -1,0 +1,45 @@
+package experiments
+
+import "hypatia/internal/constellation"
+
+// Table1 regenerates Table 1 of the paper: the shell configurations of
+// Starlink's first deployment phase, Kuiper, and Telesat, with per-operator
+// totals, verified by actually generating each constellation.
+func Table1() (*Report, error) {
+	rep := &Report{Title: "Table 1: shell configurations (Starlink phase 1, Kuiper, Telesat)"}
+	rep.Addf("%-10s %-6s %8s %8s %10s %8s", "operator", "shell", "h (km)", "orbits", "sats/orbit", "incl")
+	groups := []struct {
+		name   string
+		shells []constellation.Shell
+		minEl  float64
+	}{
+		{"Starlink", []constellation.Shell{
+			constellation.StarlinkS1, constellation.StarlinkS2, constellation.StarlinkS3,
+			constellation.StarlinkS4, constellation.StarlinkS5,
+		}, constellation.StarlinkMinElevDeg},
+		{"Kuiper", []constellation.Shell{
+			constellation.KuiperK1, constellation.KuiperK2, constellation.KuiperK3,
+		}, constellation.KuiperMinElevDeg},
+		{"Telesat", []constellation.Shell{
+			constellation.TelesatT1, constellation.TelesatT2,
+		}, constellation.TelesatMinElevDeg},
+	}
+	for _, g := range groups {
+		total := 0
+		for _, sh := range g.shells {
+			rep.Addf("%-10s %-6s %8.0f %8d %10d %7.2f°", g.name, sh.Name,
+				sh.AltitudeKm, sh.Orbits, sh.SatsPerOrbit, sh.IncDeg)
+			total += sh.Sats()
+		}
+		// Generating validates the parameters end to end.
+		c, err := constellation.Generate(constellation.Config{
+			Name: g.name, Shells: g.shells, MinElevDeg: g.minEl,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Addf("%-10s total: %d satellites (generated %d, min elevation %.0f°)",
+			g.name, total, c.NumSatellites(), g.minEl)
+	}
+	return rep, nil
+}

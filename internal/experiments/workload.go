@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"math/rand"
+	"sort"
+
+	"hypatia/internal/groundstation"
+)
+
+// GravityPairs samples n source-destination pairs with probability
+// proportional to the product of endpoint metro populations — a gravity
+// traffic model. The paper notes its random permutation "is simply one way
+// of sending substantial traffic through the network"; a gravity matrix is
+// the conventional alternative and concentrates load on the busiest
+// regions, sharpening the trans-Atlantic hotspots of Fig 15.
+//
+// Sampling is without replacement over ordered pairs (src != dst, each
+// ordered pair at most once) and deterministic for a given seed.
+func GravityPairs(gss []groundstation.GS, n int, seed int64) [][2]int {
+	r := rand.New(rand.NewSource(seed))
+	// Cumulative weights over stations.
+	weights := make([]float64, len(gss))
+	total := 0.0
+	for i, g := range gss {
+		w := float64(g.Population)
+		if w <= 0 {
+			w = 1
+		}
+		weights[i] = w
+		total += w
+	}
+	pick := func() int {
+		x := r.Float64() * total
+		for i, w := range weights {
+			x -= w
+			if x < 0 {
+				return i
+			}
+		}
+		return len(gss) - 1
+	}
+	seen := map[[2]int]bool{}
+	var out [][2]int
+	maxAttempts := n * 100
+	for len(out) < n && maxAttempts > 0 {
+		maxAttempts--
+		p := [2]int{pick(), pick()}
+		if p[0] == p[1] || seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}

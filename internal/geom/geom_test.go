@@ -1,0 +1,321 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVec3Algebra(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{-4, 5, 0.5}
+	if got := a.Add(b); got != (Vec3{-3, 7, 3.5}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec3{5, -3, 2.5}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != -4+10+1.5 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestVec3Cross(t *testing.T) {
+	x := Vec3{1, 0, 0}
+	y := Vec3{0, 1, 0}
+	z := Vec3{0, 0, 1}
+	if got := x.Cross(y); got != z {
+		t.Errorf("x cross y = %v, want z", got)
+	}
+	if got := y.Cross(x); got != z.Scale(-1) {
+		t.Errorf("y cross x = %v, want -z", got)
+	}
+	if got := x.Cross(x); got != (Vec3{}) {
+		t.Errorf("x cross x = %v, want zero", got)
+	}
+}
+
+func TestVec3NormUnit(t *testing.T) {
+	v := Vec3{3, 4, 0}
+	if v.Norm() != 5 {
+		t.Errorf("Norm = %v", v.Norm())
+	}
+	u := v.Unit()
+	if !almostEqual(u.Norm(), 1, 1e-15) {
+		t.Errorf("Unit norm = %v", u.Norm())
+	}
+	if (Vec3{}).Unit() != (Vec3{}) {
+		t.Errorf("zero vector Unit should be zero")
+	}
+}
+
+func TestDegRadRoundTrip(t *testing.T) {
+	for _, d := range []float64{0, 45, 90, 180, -53, 98.98} {
+		if got := Deg(Rad(d)); !almostEqual(got, d, 1e-12) {
+			t.Errorf("Deg(Rad(%v)) = %v", d, got)
+		}
+	}
+}
+
+func TestLLAToECEFKnownPoints(t *testing.T) {
+	// Equator / prime meridian at sea level: X = equatorial radius.
+	p := LLADeg(0, 0, 0).ToECEF()
+	if !almostEqual(p.X, EarthRadius, 1e-6) || !almostEqual(p.Y, 0, 1e-6) || !almostEqual(p.Z, 0, 1e-6) {
+		t.Errorf("equator point = %v", p)
+	}
+	// North pole: Z = polar radius = a(1-f).
+	p = LLADeg(90, 0, 0).ToECEF()
+	polar := EarthRadius * (1 - EarthFlattening)
+	if !almostEqual(p.Z, polar, 1e-6) || !almostEqual(math.Hypot(p.X, p.Y), 0, 1e-6) {
+		t.Errorf("pole point = %v, want Z=%v", p, polar)
+	}
+	// 90E on equator: Y = equatorial radius.
+	p = LLADeg(0, 90, 0).ToECEF()
+	if !almostEqual(p.Y, EarthRadius, 1e-6) {
+		t.Errorf("90E point = %v", p)
+	}
+}
+
+func TestECEFToLLARoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		lla := LLA{
+			Lat: (r.Float64() - 0.5) * math.Pi * 0.998, // avoid exact poles
+			Lon: (r.Float64() - 0.5) * 2 * math.Pi,
+			Alt: r.Float64() * 2_000_000, // 0..2000 km (LEO range)
+		}
+		back := ECEFToLLA(lla.ToECEF())
+		if !almostEqual(back.Lat, lla.Lat, 1e-9) {
+			t.Fatalf("lat round trip: %v -> %v", lla.Lat, back.Lat)
+		}
+		if !almostEqual(back.Lon, lla.Lon, 1e-9) {
+			t.Fatalf("lon round trip: %v -> %v", lla.Lon, back.Lon)
+		}
+		if !almostEqual(back.Alt, lla.Alt, 1e-3) {
+			t.Fatalf("alt round trip: %v -> %v", lla.Alt, back.Alt)
+		}
+	}
+}
+
+func TestECEFToLLAPolarAxis(t *testing.T) {
+	polar := EarthRadius * (1 - EarthFlattening)
+	got := ECEFToLLA(Vec3{0, 0, polar + 1000})
+	if !almostEqual(got.Lat, math.Pi/2, 1e-12) || !almostEqual(got.Alt, 1000, 1e-6) {
+		t.Errorf("north axis: %+v", got)
+	}
+	got = ECEFToLLA(Vec3{0, 0, -(polar + 500)})
+	if !almostEqual(got.Lat, -math.Pi/2, 1e-12) || !almostEqual(got.Alt, 500, 1e-6) {
+		t.Errorf("south axis: %+v", got)
+	}
+}
+
+func TestGMSTWrapsAndAdvances(t *testing.T) {
+	if g := GMST(0, 0); g != 0 {
+		t.Errorf("GMST(0,0) = %v", g)
+	}
+	// After one sidereal day the angle returns to (almost) zero.
+	sidereal := 2 * math.Pi / EarthRotationRate
+	if g := GMST(0, sidereal); !almostEqual(g, 0, 1e-9) && !almostEqual(g, 2*math.Pi, 1e-9) {
+		t.Errorf("GMST after sidereal day = %v", g)
+	}
+	// Negative offsets stay in [0, 2π).
+	if g := GMST(0, -100); g < 0 || g >= 2*math.Pi {
+		t.Errorf("GMST(-100) out of range: %v", g)
+	}
+}
+
+func TestGMSTFromJulianJ2000(t *testing.T) {
+	// At the J2000.0 epoch GMST is 280.46062°. (Standard reference value.)
+	got := Deg(GMSTFromJulian(2451545.0))
+	if !almostEqual(got, 280.46062, 0.01) {
+		t.Errorf("GMST(J2000) = %v deg, want ~280.46", got)
+	}
+}
+
+func TestECIECEFRoundTripProperty(t *testing.T) {
+	f := func(x, y, z, theta float64) bool {
+		// Constrain to physically meaningful magnitudes (well beyond any
+		// orbital radius) to avoid catastrophic cancellation at ~1e308.
+		v := Vec3{math.Mod(x, 1e9), math.Mod(y, 1e9), math.Mod(z, 1e9)}
+		th := math.Mod(theta, 2*math.Pi)
+		if math.IsNaN(v.X) || math.IsNaN(v.Y) || math.IsNaN(v.Z) || math.IsNaN(th) {
+			return true
+		}
+		back := ECEFToECI(ECIToECEF(v, th), th)
+		return almostEqual(back.X, v.X, 1e-6*(1+math.Abs(v.X))) &&
+			almostEqual(back.Y, v.Y, 1e-6*(1+math.Abs(v.Y))) &&
+			almostEqual(back.Z, v.Z, 1e-12*(1+math.Abs(v.Z)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECIToECEFPreservesNorm(t *testing.T) {
+	f := func(x, y, z, theta float64) bool {
+		v := Vec3{math.Mod(x, 1e9), math.Mod(y, 1e9), math.Mod(z, 1e9)}
+		if math.IsNaN(v.Norm()) || math.IsInf(v.Norm(), 0) || math.IsNaN(theta) {
+			return true
+		}
+		rot := ECIToECEF(v, theta)
+		return almostEqual(rot.Norm(), v.Norm(), 1e-6*(1+v.Norm()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHaversineKnownDistances(t *testing.T) {
+	// Antipodal points: half the circumference.
+	d := Haversine(LLADeg(0, 0, 0), LLADeg(0, 180, 0))
+	if !almostEqual(d, math.Pi*EarthRadius, 1) {
+		t.Errorf("antipodal = %v", d)
+	}
+	// Quarter circumference pole to equator.
+	d = Haversine(LLADeg(90, 0, 0), LLADeg(0, 0, 0))
+	if !almostEqual(d, math.Pi/2*EarthRadius, 1) {
+		t.Errorf("pole-equator = %v", d)
+	}
+	// Same point.
+	if d := Haversine(LLADeg(10, 20, 0), LLADeg(10, 20, 0)); d != 0 {
+		t.Errorf("same point = %v", d)
+	}
+	// Paris - Moscow is roughly 2,480 km.
+	d = Haversine(LLADeg(48.8566, 2.3522, 0), LLADeg(55.7558, 37.6173, 0))
+	if d < 2.4e6 || d > 2.6e6 {
+		t.Errorf("Paris-Moscow = %v km", d/1000)
+	}
+}
+
+func TestHaversineSymmetryProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		a := LLA{Lat: (r.Float64() - 0.5) * math.Pi, Lon: (r.Float64() - 0.5) * 2 * math.Pi}
+		b := LLA{Lat: (r.Float64() - 0.5) * math.Pi, Lon: (r.Float64() - 0.5) * 2 * math.Pi}
+		d1, d2 := Haversine(a, b), Haversine(b, a)
+		if !almostEqual(d1, d2, 1e-6) {
+			t.Fatalf("asymmetric: %v vs %v", d1, d2)
+		}
+		if d1 < 0 || d1 > math.Pi*EarthRadius+1 {
+			t.Fatalf("out of range: %v", d1)
+		}
+	}
+}
+
+func TestGeodesicRTT(t *testing.T) {
+	// 1 light-second of one-way distance would be an RTT of 2 s; check scaling
+	// via a quarter circumference.
+	d := math.Pi / 2 * EarthRadius
+	want := 2 * d / SpeedOfLight
+	got := GeodesicRTT(LLADeg(90, 0, 0), LLADeg(0, 0, 0))
+	if !almostEqual(got, want, 1e-9) {
+		t.Errorf("GeodesicRTT = %v, want %v", got, want)
+	}
+}
+
+func TestLookOverhead(t *testing.T) {
+	obs := LLADeg(0, 0, 0)
+	// Satellite directly overhead at 550 km.
+	sat := LLADeg(0, 0, 550e3).ToECEF()
+	la := Look(obs, sat)
+	if !almostEqual(Deg(la.Elevation), 90, 0.01) {
+		t.Errorf("overhead elevation = %v deg", Deg(la.Elevation))
+	}
+	if !almostEqual(la.Range, 550e3, 100) {
+		t.Errorf("overhead range = %v", la.Range)
+	}
+}
+
+func TestLookAzimuthCardinal(t *testing.T) {
+	obs := LLADeg(0, 0, 0)
+	cases := []struct {
+		name    string
+		target  LLA
+		wantAz  float64 // degrees
+		azTol   float64
+	}{
+		{"north", LLADeg(5, 0, 550e3), 0, 1},
+		{"east", LLADeg(0, 5, 550e3), 90, 1},
+		{"south", LLADeg(-5, 0, 550e3), 180, 1},
+		{"west", LLADeg(0, -5, 550e3), 270, 1},
+	}
+	for _, c := range cases {
+		la := Look(obs, c.target.ToECEF())
+		if !almostEqual(Deg(la.Azimuth), c.wantAz, c.azTol) {
+			t.Errorf("%s: azimuth = %v, want %v", c.name, Deg(la.Azimuth), c.wantAz)
+		}
+		if la.Elevation <= 0 {
+			t.Errorf("%s: elevation should be positive, got %v", c.name, Deg(la.Elevation))
+		}
+	}
+}
+
+func TestElevationDropsWithGroundDistance(t *testing.T) {
+	obs := LLADeg(0, 0, 0)
+	prev := math.Inf(1)
+	for _, lonDeg := range []float64{0, 2, 5, 10, 15, 20} {
+		el := Elevation(obs, LLADeg(0, lonDeg, 550e3).ToECEF())
+		if el >= prev {
+			t.Fatalf("elevation did not decrease at lon %v: %v >= %v", lonDeg, el, prev)
+		}
+		prev = el
+	}
+}
+
+func TestVisibleThreshold(t *testing.T) {
+	obs := LLADeg(0, 0, 0)
+	overhead := LLADeg(0, 0, 630e3).ToECEF()
+	if !Visible(obs, overhead, Rad(30)) {
+		t.Error("overhead satellite should be visible at 30 deg min elevation")
+	}
+	// A satellite 25 degrees of longitude away at 630 km is far below a 30
+	// degree elevation threshold.
+	far := LLADeg(0, 25, 630e3).ToECEF()
+	if Visible(obs, far, Rad(30)) {
+		t.Error("far satellite should not be visible at 30 deg min elevation")
+	}
+}
+
+func TestMaxSlantRange(t *testing.T) {
+	// At 90° minimum elevation only the sub-satellite point qualifies: the
+	// slant range equals the height.
+	if r := MaxSlantRange(550e3, Rad(90)); !almostEqual(r, 550e3, 1) {
+		t.Errorf("90 deg slant = %v", r)
+	}
+	// Lower minimum elevation must allow longer slant ranges.
+	r30 := MaxSlantRange(630e3, Rad(30))
+	r10 := MaxSlantRange(630e3, Rad(10))
+	if r10 <= r30 {
+		t.Errorf("slant range should grow as min elevation falls: %v <= %v", r10, r30)
+	}
+	if r30 < 630e3 {
+		t.Errorf("slant range below height: %v", r30)
+	}
+}
+
+func TestMaxSlantRangeConsistentWithLook(t *testing.T) {
+	// Any satellite seen above minEl must be within MaxSlantRange.
+	obs := LLADeg(12, 34, 0)
+	h := 630e3
+	minEl := Rad(30)
+	maxR := MaxSlantRange(h, minEl)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		sat := LLA{
+			Lat: (r.Float64() - 0.5) * math.Pi,
+			Lon: (r.Float64() - 0.5) * 2 * math.Pi,
+			Alt: h,
+		}.ToECEF()
+		la := Look(obs, sat)
+		if la.Elevation >= minEl && la.Range > maxR*1.001 {
+			t.Fatalf("visible satellite beyond max slant range: el=%v r=%v max=%v",
+				Deg(la.Elevation), la.Range, maxR)
+		}
+	}
+}

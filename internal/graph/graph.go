@@ -1,0 +1,304 @@
+// Package graph implements the weighted-graph algorithms behind Hypatia's
+// routing: single-source shortest paths (Dijkstra with a binary heap, used
+// per destination ground station for scalable forwarding-state generation)
+// and all-pairs shortest paths (Floyd–Warshall, the algorithm the paper's
+// networkx-based pipeline uses, retained both for fidelity and as a
+// cross-check of the Dijkstra fast path).
+//
+// Graphs are undirected with non-negative float64 weights (link distances in
+// meters, so shortest distance = lowest propagation latency). Node identity
+// and edge insertion order are deterministic, which makes path selection
+// reproducible across runs.
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Infinity is the distance reported for unreachable nodes.
+var Infinity = math.Inf(1)
+
+// Edge is a half-edge in an adjacency list.
+type Edge struct {
+	To int32
+	W  float64
+}
+
+// Graph is an undirected weighted graph over nodes 0..N-1.
+type Graph struct {
+	n   int
+	adj [][]Edge
+}
+
+// New creates a graph with n nodes and no edges.
+func New(n int) *Graph {
+	return &Graph{n: n, adj: make([][]Edge, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Neighbors returns the adjacency list of node v. The slice is owned by the
+// graph and must not be modified.
+func (g *Graph) Neighbors(v int) []Edge { return g.adj[v] }
+
+// AddEdge inserts an undirected edge between a and b with weight w.
+// It panics on out-of-range nodes, self-loops, or negative weights —
+// all of which indicate a topology-construction bug.
+func (g *Graph) AddEdge(a, b int, w float64) {
+	if a < 0 || a >= g.n || b < 0 || b >= g.n {
+		panic(fmt.Sprintf("graph: edge %d-%d out of range [0,%d)", a, b, g.n))
+	}
+	if a == b {
+		panic(fmt.Sprintf("graph: self-loop at %d", a))
+	}
+	if w < 0 || math.IsNaN(w) {
+		panic(fmt.Sprintf("graph: negative or NaN weight %v on edge %d-%d", w, a, b))
+	}
+	g.adj[a] = append(g.adj[a], Edge{To: int32(b), W: w})
+	g.adj[b] = append(g.adj[b], Edge{To: int32(a), W: w})
+}
+
+// indexedHeap is a binary min-heap of nodes keyed by tentative distance,
+// with ties broken by node index for deterministic path selection. It
+// supports decrease-key via a position index.
+type indexedHeap struct {
+	nodes []int32   // heap array of node ids
+	pos   []int32   // pos[node] = index in nodes, -1 if absent
+	key   []float64 // key[node] = current tentative distance
+}
+
+func newIndexedHeap(n int) *indexedHeap {
+	h := &indexedHeap{
+		nodes: make([]int32, 0, n),
+		pos:   make([]int32, n),
+		key:   make([]float64, n),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+func (h *indexedHeap) less(a, b int32) bool {
+	if h.key[a] != h.key[b] {
+		return h.key[a] < h.key[b]
+	}
+	return a < b
+}
+
+func (h *indexedHeap) swap(i, j int) {
+	h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i]
+	h.pos[h.nodes[i]] = int32(i)
+	h.pos[h.nodes[j]] = int32(j)
+}
+
+func (h *indexedHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.nodes[i], h.nodes[parent]) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *indexedHeap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.nodes) && h.less(h.nodes[l], h.nodes[small]) {
+			small = l
+		}
+		if r < len(h.nodes) && h.less(h.nodes[r], h.nodes[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}
+
+// push inserts node v with key k, or decreases its key if already present.
+func (h *indexedHeap) push(v int32, k float64) {
+	if h.pos[v] >= 0 {
+		if k >= h.key[v] {
+			return
+		}
+		h.key[v] = k
+		h.up(int(h.pos[v]))
+		return
+	}
+	h.key[v] = k
+	h.pos[v] = int32(len(h.nodes))
+	h.nodes = append(h.nodes, v)
+	h.up(len(h.nodes) - 1)
+}
+
+// pop removes and returns the minimum node.
+func (h *indexedHeap) pop() int32 {
+	top := h.nodes[0]
+	last := len(h.nodes) - 1
+	h.swap(0, last)
+	h.nodes = h.nodes[:last]
+	h.pos[top] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+func (h *indexedHeap) empty() bool { return len(h.nodes) == 0 }
+
+// Dijkstra computes single-source shortest paths from src. It fills dist
+// (length N, Infinity for unreachable) and prev (length N, -1 where
+// undefined; prev[src] = src). Slices are allocated when nil or too short;
+// the possibly re-allocated slices are returned for reuse across calls.
+//
+// Ties between equally short paths are broken toward the smaller node index
+// at extraction time, so repeated runs over an identical graph produce an
+// identical shortest-path tree.
+func (g *Graph) Dijkstra(src int, dist []float64, prev []int32) ([]float64, []int32) {
+	if src < 0 || src >= g.n {
+		panic(fmt.Sprintf("graph: source %d out of range", src))
+	}
+	if cap(dist) < g.n {
+		dist = make([]float64, g.n)
+	}
+	dist = dist[:g.n]
+	if cap(prev) < g.n {
+		prev = make([]int32, g.n)
+	}
+	prev = prev[:g.n]
+	for i := range dist {
+		dist[i] = Infinity
+		prev[i] = -1
+	}
+	h := newIndexedHeap(g.n)
+	dist[src] = 0
+	prev[src] = int32(src)
+	h.push(int32(src), 0)
+	for !h.empty() {
+		u := h.pop()
+		du := dist[u]
+		for _, e := range g.adj[u] {
+			nd := du + e.W
+			if nd < dist[e.To] {
+				dist[e.To] = nd
+				prev[e.To] = u
+				h.push(e.To, nd)
+			}
+		}
+	}
+	return dist, prev
+}
+
+// PathFromPrev reconstructs the path src..dst from a prev array produced by
+// Dijkstra(src, ...). It returns nil if dst is unreachable.
+func PathFromPrev(prev []int32, src, dst int) []int {
+	if prev[dst] == -1 {
+		return nil
+	}
+	var rev []int
+	for v := dst; ; v = int(prev[v]) {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+		if len(rev) > len(prev) {
+			panic("graph: prev array contains a cycle")
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// AllPairs holds the result of Floyd–Warshall: flattened N×N distance and
+// next-hop matrices.
+type AllPairs struct {
+	n    int
+	dist []float64
+	next []int32
+}
+
+// FloydWarshall computes all-pairs shortest paths. This is the algorithm the
+// paper's analysis pipeline uses on each 100 ms snapshot; it is O(N^3) and
+// intended for validation and small topologies — use per-destination
+// Dijkstra for constellation-scale forwarding state.
+func (g *Graph) FloydWarshall() *AllPairs {
+	n := g.n
+	ap := &AllPairs{
+		n:    n,
+		dist: make([]float64, n*n),
+		next: make([]int32, n*n),
+	}
+	for i := range ap.dist {
+		ap.dist[i] = Infinity
+		ap.next[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		ap.dist[i*n+i] = 0
+		ap.next[i*n+i] = int32(i)
+	}
+	for u, edges := range g.adj {
+		for _, e := range edges {
+			if e.W < ap.dist[u*n+int(e.To)] {
+				ap.dist[u*n+int(e.To)] = e.W
+				ap.next[u*n+int(e.To)] = e.To
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		kRow := ap.dist[k*n : (k+1)*n]
+		for i := 0; i < n; i++ {
+			dik := ap.dist[i*n+k]
+			if math.IsInf(dik, 1) {
+				continue
+			}
+			iRow := ap.dist[i*n : (i+1)*n]
+			iNext := ap.next[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				if nd := dik + kRow[j]; nd < iRow[j] {
+					iRow[j] = nd
+					iNext[j] = ap.next[i*n+k]
+				}
+			}
+		}
+	}
+	return ap
+}
+
+// Dist returns the shortest-path distance from a to b.
+func (ap *AllPairs) Dist(a, b int) float64 { return ap.dist[a*ap.n+b] }
+
+// Path returns the node sequence of a shortest path a..b, nil if
+// unreachable.
+func (ap *AllPairs) Path(a, b int) []int {
+	if ap.next[a*ap.n+b] == -1 {
+		return nil
+	}
+	path := []int{a}
+	for v := a; v != b; {
+		v = int(ap.next[v*ap.n+b])
+		path = append(path, v)
+		if len(path) > ap.n {
+			panic("graph: next matrix contains a cycle")
+		}
+	}
+	return path
+}

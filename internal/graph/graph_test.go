@@ -1,0 +1,310 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// line builds a path graph 0-1-2-...-n-1 with unit weights.
+func line(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	return g
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(*Graph)
+	}{
+		{"out of range", func(g *Graph) { g.AddEdge(0, 5, 1) }},
+		{"negative", func(g *Graph) { g.AddEdge(0, 1, -1) }},
+		{"self loop", func(g *Graph) { g.AddEdge(1, 1, 1) }},
+		{"nan", func(g *Graph) { g.AddEdge(0, 1, math.NaN()) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", c.name)
+				}
+			}()
+			c.f(New(3))
+		})
+	}
+}
+
+func TestDijkstraLine(t *testing.T) {
+	g := line(5)
+	dist, prev := g.Dijkstra(0, nil, nil)
+	for i := 0; i < 5; i++ {
+		if dist[i] != float64(i) {
+			t.Errorf("dist[%d] = %v", i, dist[i])
+		}
+	}
+	path := PathFromPrev(prev, 0, 4)
+	want := []int{0, 1, 2, 3, 4}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v", path)
+		}
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	// 2, 3 disconnected.
+	dist, prev := g.Dijkstra(0, nil, nil)
+	if !math.IsInf(dist[2], 1) || !math.IsInf(dist[3], 1) {
+		t.Errorf("disconnected distances: %v", dist)
+	}
+	if PathFromPrev(prev, 0, 3) != nil {
+		t.Error("path to unreachable node should be nil")
+	}
+}
+
+func TestDijkstraPicksShorterOfTwoRoutes(t *testing.T) {
+	//      1
+	//   0 --- 1
+	//   |     |
+	//  10     1
+	//   |     |
+	//   3 --- 2
+	//      1
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(0, 3, 10)
+	dist, prev := g.Dijkstra(0, nil, nil)
+	if dist[3] != 3 {
+		t.Errorf("dist[3] = %v, want 3 (via 1,2)", dist[3])
+	}
+	path := PathFromPrev(prev, 0, 3)
+	if len(path) != 4 {
+		t.Errorf("path = %v", path)
+	}
+}
+
+func TestDijkstraDeterministicTieBreak(t *testing.T) {
+	// Two equal-cost routes 0->1->3 and 0->2->3; repeated runs must return
+	// the same path.
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(2, 3, 1)
+	_, prev1 := g.Dijkstra(0, nil, nil)
+	first := PathFromPrev(prev1, 0, 3)
+	for i := 0; i < 10; i++ {
+		_, prev := g.Dijkstra(0, nil, nil)
+		p := PathFromPrev(prev, 0, 3)
+		for j := range p {
+			if p[j] != first[j] {
+				t.Fatalf("tie-break unstable: %v vs %v", p, first)
+			}
+		}
+	}
+}
+
+func TestDijkstraReusesSlices(t *testing.T) {
+	g := line(6)
+	dist := make([]float64, 6)
+	prev := make([]int32, 6)
+	d2, p2 := g.Dijkstra(2, dist, prev)
+	if &d2[0] != &dist[0] || &p2[0] != &prev[0] {
+		t.Error("slices were reallocated despite sufficient capacity")
+	}
+	if d2[5] != 3 {
+		t.Errorf("dist[5] = %v", d2[5])
+	}
+}
+
+func TestFloydWarshallMatchesDijkstraRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + r.Intn(20)
+		g := New(n)
+		seen := map[[2]int]bool{}
+		for e := 0; e < n*3; e++ {
+			a, b := r.Intn(n), r.Intn(n)
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			if seen[[2]int{a, b}] {
+				continue
+			}
+			seen[[2]int{a, b}] = true
+			g.AddEdge(a, b, 1+r.Float64()*100)
+		}
+		ap := g.FloydWarshall()
+		for src := 0; src < n; src += 3 {
+			dist, _ := g.Dijkstra(src, nil, nil)
+			for v := 0; v < n; v++ {
+				fw := ap.Dist(src, v)
+				if math.IsInf(dist[v], 1) != math.IsInf(fw, 1) {
+					t.Fatalf("reachability disagrees at %d->%d", src, v)
+				}
+				if !math.IsInf(fw, 1) && math.Abs(fw-dist[v]) > 1e-6 {
+					t.Fatalf("distance disagrees at %d->%d: FW %v vs Dijkstra %v", src, v, fw, dist[v])
+				}
+			}
+		}
+	}
+}
+
+func TestFloydWarshallPath(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(0, 3, 10)
+	ap := g.FloydWarshall()
+	path := ap.Path(0, 3)
+	want := []int{0, 1, 2, 3}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v", path)
+		}
+	}
+	if ap.Path(3, 0) == nil {
+		t.Error("reverse path missing")
+	}
+}
+
+func TestFloydWarshallPathUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	ap := g.FloydWarshall()
+	if ap.Path(0, 2) != nil {
+		t.Error("unreachable path should be nil")
+	}
+	if !math.IsInf(ap.Dist(2, 0), 1) {
+		t.Error("unreachable distance should be Inf")
+	}
+}
+
+func TestFloydWarshallPathDistancesConsistentProperty(t *testing.T) {
+	// The sum of edge weights along any reported path equals the reported
+	// distance.
+	r := rand.New(rand.NewSource(5))
+	n := 30
+	g := New(n)
+	type key [2]int
+	w := map[key]float64{}
+	for e := 0; e < 90; e++ {
+		a, b := r.Intn(n), r.Intn(n)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if _, dup := w[key{a, b}]; dup {
+			continue
+		}
+		wt := 1 + r.Float64()*10
+		w[key{a, b}] = wt
+		g.AddEdge(a, b, wt)
+	}
+	ap := g.FloydWarshall()
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			p := ap.Path(a, b)
+			if p == nil {
+				continue
+			}
+			sum := 0.0
+			for i := 0; i+1 < len(p); i++ {
+				x, y := p[i], p[i+1]
+				if x > y {
+					x, y = y, x
+				}
+				wt, ok := w[key{x, y}]
+				if !ok {
+					t.Fatalf("path %v uses nonexistent edge %d-%d", p, x, y)
+				}
+				sum += wt
+			}
+			if math.Abs(sum-ap.Dist(a, b)) > 1e-6 {
+				t.Fatalf("path sum %v != dist %v for %d->%d (%v)", sum, ap.Dist(a, b), a, b, p)
+			}
+		}
+	}
+}
+
+func TestNumEdgesAndNeighbors(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 3)
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+	if g.N() != 3 {
+		t.Errorf("N = %d", g.N())
+	}
+	nb := g.Neighbors(1)
+	if len(nb) != 2 {
+		t.Errorf("Neighbors(1) = %v", nb)
+	}
+}
+
+func TestIndexedHeapDecreaseKey(t *testing.T) {
+	h := newIndexedHeap(5)
+	h.push(0, 10)
+	h.push(1, 5)
+	h.push(2, 7)
+	h.push(0, 1) // decrease key of 0
+	if got := h.pop(); got != 0 {
+		t.Errorf("pop = %d, want 0 after decrease-key", got)
+	}
+	if got := h.pop(); got != 1 {
+		t.Errorf("pop = %d, want 1", got)
+	}
+	// Increasing a key is ignored.
+	h.push(2, 100)
+	if got := h.pop(); got != 2 {
+		t.Errorf("pop = %d, want 2", got)
+	}
+	if !h.empty() {
+		t.Error("heap should be empty")
+	}
+}
+
+func TestIndexedHeapOrderingProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		n := 50
+		h := newIndexedHeap(n)
+		keys := make([]float64, n)
+		for i := range keys {
+			keys[i] = math.Floor(r.Float64() * 20) // deliberately many ties
+			h.push(int32(i), keys[i])
+		}
+		prevKey := math.Inf(-1)
+		prevNode := int32(-1)
+		for !h.empty() {
+			v := h.pop()
+			if keys[v] < prevKey {
+				t.Fatalf("heap order violated: %v after %v", keys[v], prevKey)
+			}
+			if keys[v] == prevKey && v < prevNode {
+				t.Fatalf("tie-break violated: node %d after %d at key %v", v, prevNode, prevKey)
+			}
+			prevKey, prevNode = keys[v], v
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestKShortestSimple(t *testing.T) {
+	//  0 --1-- 1 --1-- 3
+	//   \--2-- 2 --2--/
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(2, 3, 2)
+	paths := g.KShortestPaths(0, 3, 3)
+	if len(paths) != 2 {
+		t.Fatalf("paths = %d, want 2 (only 2 exist)", len(paths))
+	}
+	if paths[0].Weight != 2 || paths[1].Weight != 4 {
+		t.Errorf("weights = %v, %v", paths[0].Weight, paths[1].Weight)
+	}
+	if !samePath(paths[0].Nodes, []int{0, 1, 3}) {
+		t.Errorf("first path = %v", paths[0].Nodes)
+	}
+	if !samePath(paths[1].Nodes, []int{0, 2, 3}) {
+		t.Errorf("second path = %v", paths[1].Nodes)
+	}
+}
+
+func TestKShortestUnreachableAndEdgeCases(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	if got := g.KShortestPaths(0, 2, 3); got != nil {
+		t.Errorf("unreachable destination returned %v", got)
+	}
+	if got := g.KShortestPaths(0, 1, 0); got != nil {
+		t.Errorf("k=0 returned %v", got)
+	}
+	if got := g.KShortestPaths(0, 1, 5); len(got) != 1 {
+		t.Errorf("single-path graph returned %d paths", len(got))
+	}
+}
+
+func TestKShortestOrderedAndLoopless(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		n := 15
+		g := New(n)
+		seen := map[[2]int]bool{}
+		for e := 0; e < 40; e++ {
+			a, b := r.Intn(n), r.Intn(n)
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			if seen[[2]int{a, b}] {
+				continue
+			}
+			seen[[2]int{a, b}] = true
+			g.AddEdge(a, b, 1+r.Float64()*10)
+		}
+		paths := g.KShortestPaths(0, n-1, 5)
+		for i, p := range paths {
+			// Non-decreasing weights.
+			if i > 0 && p.Weight < paths[i-1].Weight-1e-9 {
+				t.Fatalf("weights out of order: %v after %v", p.Weight, paths[i-1].Weight)
+			}
+			// Loopless.
+			visited := map[int]bool{}
+			for _, v := range p.Nodes {
+				if visited[v] {
+					t.Fatalf("loop in path %v", p.Nodes)
+				}
+				visited[v] = true
+			}
+			// Valid endpoints and weight.
+			if p.Nodes[0] != 0 || p.Nodes[len(p.Nodes)-1] != n-1 {
+				t.Fatalf("bad endpoints: %v", p.Nodes)
+			}
+			if w := g.pathWeight(p.Nodes); math.Abs(w-p.Weight) > 1e-9 {
+				t.Fatalf("weight mismatch: %v vs %v", w, p.Weight)
+			}
+			// Distinct from all others.
+			for j := 0; j < i; j++ {
+				if samePath(p.Nodes, paths[j].Nodes) {
+					t.Fatalf("duplicate path %v", p.Nodes)
+				}
+			}
+		}
+	}
+}
+
+func TestKShortestFirstMatchesDijkstra(t *testing.T) {
+	g := buildMesh(8, 8, 3)
+	dist, _ := g.Dijkstra(0, nil, nil)
+	paths := g.KShortestPaths(0, 37, 4)
+	if len(paths) == 0 {
+		t.Fatal("no paths in connected mesh")
+	}
+	if math.Abs(paths[0].Weight-dist[37]) > 1e-9 {
+		t.Errorf("first path weight %v != Dijkstra %v", paths[0].Weight, dist[37])
+	}
+	if len(paths) < 4 {
+		t.Errorf("mesh should have at least 4 distinct paths, got %d", len(paths))
+	}
+}
+
+func TestKShortestDeterministic(t *testing.T) {
+	g := buildMesh(6, 6, 9)
+	a := g.KShortestPaths(0, 20, 6)
+	b := g.KShortestPaths(0, 20, 6)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic path count")
+	}
+	for i := range a {
+		if !samePath(a[i].Nodes, b[i].Nodes) {
+			t.Fatalf("path %d differs between runs", i)
+		}
+	}
+}
+
+// enumerateAllPaths lists every simple path src->dst by DFS (exponential;
+// only for tiny graphs) sorted by weight then lexicographically.
+func enumerateAllPaths(g *Graph, src, dst int) []WeightedPath {
+	var out []WeightedPath
+	visited := make([]bool, g.N())
+	var path []int
+	var dfs func(v int, w float64)
+	dfs = func(v int, w float64) {
+		visited[v] = true
+		path = append(path, v)
+		if v == dst {
+			out = append(out, WeightedPath{Nodes: append([]int{}, path...), Weight: w})
+		} else {
+			for _, e := range g.Neighbors(v) {
+				if !visited[e.To] {
+					dfs(int(e.To), w+e.W)
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		visited[v] = false
+	}
+	dfs(src, 0)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight < out[j].Weight
+		}
+		return lessPath(out[i].Nodes, out[j].Nodes)
+	})
+	return out
+}
+
+func TestKShortestMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		n := 7
+		g := New(n)
+		seen := map[[2]int]bool{}
+		for e := 0; e < 12; e++ {
+			a, b := r.Intn(n), r.Intn(n)
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			if seen[[2]int{a, b}] {
+				continue
+			}
+			seen[[2]int{a, b}] = true
+			g.AddEdge(a, b, float64(1+r.Intn(9)))
+		}
+		want := enumerateAllPaths(g, 0, n-1)
+		k := 4
+		got := g.KShortestPaths(0, n-1, k)
+		wantK := len(want)
+		if wantK > k {
+			wantK = k
+		}
+		if len(got) != wantK {
+			t.Fatalf("trial %d: got %d paths, want %d", trial, len(got), wantK)
+		}
+		for i := range got {
+			// Weights must match the brute-force ranking exactly (paths may
+			// differ among equal weights).
+			if math.Abs(got[i].Weight-want[i].Weight) > 1e-9 {
+				t.Fatalf("trial %d: path %d weight %v, brute force %v",
+					trial, i, got[i].Weight, want[i].Weight)
+			}
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package orbit
+
+import (
+	"testing"
+
+	"hypatia/internal/geom"
+)
+
+// Ablation: two-body vs J2-perturbed propagation cost. The J2 secular terms
+// are precomputed, so per-call cost should be nearly identical — this bench
+// documents that enabling J2 fidelity is free at simulation time.
+
+func BenchmarkPropagateTwoBody(b *testing.B) {
+	k, _ := NewKeplerPropagator(Circular(630e3, geom.Rad(51.9), 1, 2), false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = k.PositionECI(float64(i % 6000))
+	}
+}
+
+func BenchmarkPropagateJ2(b *testing.B) {
+	k, _ := NewKeplerPropagator(Circular(630e3, geom.Rad(51.9), 1, 2), true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = k.PositionECI(float64(i % 6000))
+	}
+}
+
+func BenchmarkSolveKeplerEccentric(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = SolveKepler(float64(i%628)/100, 0.01)
+	}
+}

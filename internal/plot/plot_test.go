@@ -1,0 +1,141 @@
+package plot
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestLinesBasic(t *testing.T) {
+	svg, err := Lines(Options{Title: "RTT", XLabel: "time (s)", YLabel: "ms"},
+		Series{Name: "ping", X: []float64{0, 1, 2, 3}, Y: []float64{10, 12, 11, 13}},
+		Series{Name: "computed", X: []float64{0, 1, 2, 3}, Y: []float64{9, 11, 10, 12}, Dashed: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not a complete SVG")
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("polylines = %d", strings.Count(svg, "<polyline"))
+	}
+	for _, want := range []string{"RTT", "time (s)", "ms", "ping", "computed", "stroke-dasharray"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestLinesRejectsBadInput(t *testing.T) {
+	if _, err := Lines(Options{}); err == nil {
+		t.Error("no series accepted")
+	}
+	if _, err := Lines(Options{}, Series{X: []float64{1}, Y: []float64{1, 2}}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := Lines(Options{}, Series{X: []float64{math.NaN()}, Y: []float64{math.NaN()}}); err == nil {
+		t.Error("all-NaN series accepted")
+	}
+}
+
+func TestLinesBreaksAtNonFinite(t *testing.T) {
+	// A NaN in the middle splits the curve into two polylines — used for
+	// disconnection windows (the paper's St. Petersburg outage).
+	svg, err := Lines(Options{},
+		Series{X: []float64{0, 1, 2, 3, 4}, Y: []float64{1, 2, math.NaN(), 2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("polylines = %d, want 2 (split at NaN)", strings.Count(svg, "<polyline"))
+	}
+}
+
+func TestLinesClipsAboveYMax(t *testing.T) {
+	svg, err := Lines(Options{YMax: 10},
+		Series{X: []float64{0, 1, 2, 3, 4}, Y: []float64{5, 6, 1000, 6, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("polylines = %d, want 2 (split at clip)", strings.Count(svg, "<polyline"))
+	}
+}
+
+func TestLinesDeterministic(t *testing.T) {
+	s := Series{Name: "x", X: []float64{0, 1, 2}, Y: []float64{3, 1, 2}}
+	a, _ := Lines(Options{Title: "t"}, s)
+	b, _ := Lines(Options{Title: "t"}, s)
+	if a != b {
+		t.Error("same input produced different SVG")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	svg, err := CDF(Options{Title: "CDF", XLabel: "ms"},
+		Series{Name: "Kuiper", X: []float64{3, 1, 2, 5, 4}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "ECDF") {
+		t.Error("default Y label missing")
+	}
+	if strings.Count(svg, "<polyline") != 1 {
+		t.Error("CDF curve missing")
+	}
+}
+
+func TestCDFRejectsEmpty(t *testing.T) {
+	if _, err := CDF(Options{}, Series{Name: "empty"}); err == nil {
+		t.Error("empty CDF accepted")
+	}
+}
+
+func TestSortFloats(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		xs := make([]float64, r.Intn(100))
+		for i := range xs {
+			xs[i] = r.Float64()
+		}
+		sortFloats(xs)
+		for i := 1; i < len(xs); i++ {
+			if xs[i-1] > xs[i] {
+				t.Fatalf("unsorted at %d", i)
+			}
+		}
+	}
+}
+
+func TestTickFormatting(t *testing.T) {
+	cases := map[float64]string{
+		2_500_000: "2.5M",
+		25_000:    "25k",
+		250:       "250",
+		2.5:       "2.5",
+		0:         "0",
+		0.0001:    "1.0e-04",
+	}
+	for v, want := range cases {
+		if got := tick(v); got != want {
+			t.Errorf("tick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestEscapesLabels(t *testing.T) {
+	svg, err := Lines(Options{Title: `a<b&"c"`},
+		Series{X: []float64{0, 1}, Y: []float64{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, `a<b`) {
+		t.Error("unescaped < in output")
+	}
+	if !strings.Contains(svg, "a&lt;b&amp;") {
+		t.Error("escaped title missing")
+	}
+}

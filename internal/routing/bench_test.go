@@ -1,0 +1,62 @@
+package routing
+
+import (
+	"testing"
+
+	"hypatia/internal/constellation"
+	"hypatia/internal/groundstation"
+)
+
+func benchTopo(b *testing.B, policy GSLPolicy) *Topology {
+	b.Helper()
+	c, err := constellation.Generate(constellation.Kuiper())
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo, err := NewTopology(c, groundstation.Top100Cities(), policy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return topo
+}
+
+// BenchmarkSnapshot measures the cost of building one instantaneous
+// topology graph (positions + ISL weights + GSL visibility) for Kuiper K1
+// with 100 ground stations — incurred once per forwarding-state update.
+func BenchmarkSnapshot(b *testing.B) {
+	topo := benchTopo(b, GSLFree)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = topo.Snapshot(float64(i % 200))
+	}
+}
+
+// BenchmarkForwardingTableFull measures a full 100-destination forwarding
+// state computation on one snapshot (sequential; the core package
+// parallelizes this across workers).
+func BenchmarkForwardingTableFull(b *testing.B) {
+	topo := benchTopo(b, GSLFree)
+	snap := topo.Snapshot(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = snap.ForwardingTable()
+	}
+}
+
+// Ablation: GSL attachment policy. Nearest-only reduces graph degree (one
+// GSL edge per ground station) at the cost of longer paths.
+func BenchmarkAblationSnapshotGSLFree(b *testing.B) {
+	topo := benchTopo(b, GSLFree)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = topo.Snapshot(float64(i % 200))
+	}
+}
+
+func BenchmarkAblationSnapshotGSLNearest(b *testing.B) {
+	topo := benchTopo(b, GSLNearestOnly)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = topo.Snapshot(float64(i % 200))
+	}
+}

@@ -1,0 +1,34 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw discrete-event processing rate —
+// the quantity that bounds simulator scalability (paper §3.4: "the
+// simulation is bottlenecked at per-packet event processing").
+func BenchmarkEventThroughput(b *testing.B) {
+	s := NewSimulator()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			s.Schedule(Microsecond, tick)
+		}
+	}
+	s.Schedule(0, tick)
+	b.ResetTimer()
+	s.Run(Time(1) << 60)
+}
+
+// BenchmarkEventHeapChurn exercises the heap with many pending events.
+func BenchmarkEventHeapChurn(b *testing.B) {
+	s := NewSimulator()
+	for i := 0; i < 10000; i++ {
+		s.Schedule(Time(i)*Millisecond+Second, func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(Time(i%1000)*Microsecond, func() {})
+	}
+	s.Run(Time(1) << 60)
+}

@@ -1,0 +1,476 @@
+package sim
+
+import (
+	"fmt"
+
+	"hypatia/internal/geom"
+	"hypatia/internal/routing"
+)
+
+// Packet is a simulated network packet. Size covers everything serialized on
+// the wire (payload plus headers); Payload carries the transport-layer
+// segment and is opaque to the network.
+type Packet struct {
+	ID     uint64
+	SrcGS  int    // source ground-station index
+	DstGS  int    // destination ground-station index
+	FlowID uint32 // demultiplexing key at the destination node
+	Size   int    // bytes on the wire
+	Hops   int    // hops traversed so far
+	SentAt Time   // time the packet entered the network at its source
+
+	Payload interface{}
+}
+
+// Handler consumes packets delivered to a ground station for a flow.
+type Handler func(*Packet)
+
+// DropReason classifies packet drops.
+type DropReason int
+
+const (
+	// DropQueue: the outgoing device's drop-tail queue was full.
+	DropQueue DropReason = iota
+	// DropNoRoute: the forwarding table had no next hop for the
+	// destination (e.g. the destination GS sees no satellite).
+	DropNoRoute
+	// DropTTL: the packet exceeded the hop limit (transient loops can form
+	// while forwarding state is mid-update across nodes).
+	DropTTL
+	// DropNoHandler: delivered to the destination GS but no transport
+	// handler was registered for the flow.
+	DropNoHandler
+	// DropLink: the configured LossModel discarded the packet in flight
+	// (e.g. weather-induced loss on a ground-satellite link).
+	DropLink
+	numDropReasons
+)
+
+// String names the drop reason.
+func (r DropReason) String() string {
+	switch r {
+	case DropQueue:
+		return "queue-full"
+	case DropNoRoute:
+		return "no-route"
+	case DropTTL:
+		return "ttl-exceeded"
+	case DropNoHandler:
+		return "no-handler"
+	case DropLink:
+		return "link-loss"
+	}
+	return "unknown"
+}
+
+// Config sets the network-wide link and queue parameters. The paper's
+// experiments use uniform rates across ISLs and GSLs (10 Mbit/s in the path
+// studies, swept in the scalability study) and 100-packet drop-tail queues.
+type Config struct {
+	ISLRateBps   float64 // inter-satellite link rate, bits/s
+	GSLRateBps   float64 // ground-satellite link rate, bits/s
+	QueuePackets int     // drop-tail queue capacity per device, packets
+	MaxHops      int     // hop limit; 0 means the default of 64
+	// PosQuantum is the satellite-position cache granularity for
+	// propagation-delay computation. Positions move < 100 m per 10 ms,
+	// i.e. well under a microsecond of delay error. 0 means 10 ms.
+	PosQuantum Time
+
+	// RateFor optionally overrides the link rate (bits/s) per directed
+	// device. It is consulted once per device at construction time with
+	// the owning node and, for ISL devices, the fixed peer (-1 for GSL
+	// devices). Returning 0 keeps the uniform default. This implements
+	// the paper's "heterogeneity in terms of link capacities is easy to
+	// accommodate" extension — e.g. newer satellites with faster ISLs.
+	RateFor func(node, peer int) float64
+
+	// LossModel optionally drops packets in flight on a link: it is
+	// consulted once per transmission with the endpoints and the send
+	// time, and returning true discards the packet after serialization
+	// (the receiver simply never sees it). It enables the paper's
+	// weather/reliability future-work experiments, e.g. rain fade on
+	// GSLs in a geographic region.
+	LossModel func(from, to int, at Time) bool
+}
+
+// DefaultConfig returns the paper's default experiment parameters.
+func DefaultConfig() Config {
+	return Config{
+		ISLRateBps:   10e6,
+		GSLRateBps:   10e6,
+		QueuePackets: 100,
+		MaxHops:      64,
+		PosQuantum:   10 * Millisecond,
+	}
+}
+
+// WithDefaults fills zero-valued fields with the paper's defaults and
+// returns the result. NewNetwork applies it automatically; callers that
+// need to read effective values before construction may call it directly.
+func (c Config) WithDefaults() Config {
+	if c.ISLRateBps == 0 {
+		c.ISLRateBps = 10e6
+	}
+	if c.GSLRateBps == 0 {
+		c.GSLRateBps = 10e6
+	}
+	if c.QueuePackets == 0 {
+		c.QueuePackets = 100
+	}
+	if c.MaxHops == 0 {
+		c.MaxHops = 64
+	}
+	if c.PosQuantum == 0 {
+		c.PosQuantum = 10 * Millisecond
+	}
+	return c
+}
+
+// TransmitInfo describes one link transmission, for monitoring hooks.
+type TransmitInfo struct {
+	From, To int // node ids
+	Packet   *Packet
+	Start    Time // serialization start
+	Arrive   Time // arrival at the receiving node
+}
+
+// Network is the packet-forwarding fabric over a Topology: one node per
+// satellite and ground station, a point-to-point device pair per ISL, and
+// one shared GSL device per node (the paper's default of one GSL network
+// device per satellite and ground station, able to send to any other GSL
+// device the forwarding plan names).
+type Network struct {
+	Sim  *Simulator
+	Topo *routing.Topology
+
+	cfg   Config
+	nodes []*node
+	ft    *routing.ForwardingTable
+
+	// Position cache for propagation delays.
+	pos       []geom.Vec3
+	posBucket Time
+
+	onTransmit func(TransmitInfo)
+	onDrop     func(node int, pkt *Packet, reason DropReason)
+	onDeliver  func(gs int, pkt *Packet)
+
+	nextPktID uint64
+	delivered uint64
+	drops     [numDropReasons]uint64
+}
+
+type node struct {
+	id     int
+	net    *Network
+	isl    map[int32]*device // keyed by neighbor node id
+	gsl    *device
+	flows  map[uint32]Handler // only populated on ground stations
+}
+
+// queued is one packet awaiting transmission along with its concrete
+// next-hop target (resolved at enqueue time; a later forwarding-state change
+// does not reroute already queued packets, matching loss-free handoff).
+type queued struct {
+	pkt    *Packet
+	target int32
+}
+
+// device is a transmitting interface with a fixed-capacity drop-tail FIFO.
+type device struct {
+	node    *node
+	rateBps float64
+	// fixedPeer is the ISL peer node id, or -1 for the GSL device (the
+	// target then travels with each queued packet).
+	fixedPeer int32
+	ring      []queued
+	head, n   int
+	busy      bool
+
+	// Statistics.
+	txPackets uint64
+	txBytes   uint64
+	maxQueue  int
+}
+
+// DeviceStats is a snapshot of one device's counters.
+type DeviceStats struct {
+	Node     int
+	Peer     int // ISL peer node, or -1 for the GSL device
+	RateBps  float64
+	TxPkts   uint64
+	TxBytes  uint64
+	MaxQueue int // peak queue occupancy observed
+}
+
+// DeviceStats returns per-device counters for every device in the network,
+// satellites first (each node's GSL device, then its ISL devices in
+// ascending peer order). Useful for post-run diagnostics: hot devices,
+// buffer headroom, and rate utilization.
+func (n *Network) DeviceStats() []DeviceStats {
+	var out []DeviceStats
+	for _, nd := range n.nodes {
+		out = append(out, deviceStats(nd.gsl))
+		peers := make([]int32, 0, len(nd.isl))
+		for p := range nd.isl {
+			peers = append(peers, p)
+		}
+		for i := 1; i < len(peers); i++ { // insertion sort: tiny lists
+			for j := i; j > 0 && peers[j-1] > peers[j]; j-- {
+				peers[j-1], peers[j] = peers[j], peers[j-1]
+			}
+		}
+		for _, p := range peers {
+			out = append(out, deviceStats(nd.isl[p]))
+		}
+	}
+	return out
+}
+
+func deviceStats(d *device) DeviceStats {
+	return DeviceStats{
+		Node: d.node.id, Peer: int(d.fixedPeer), RateBps: d.rateBps,
+		TxPkts: d.txPackets, TxBytes: d.txBytes, MaxQueue: d.maxQueue,
+	}
+}
+
+func newDevice(nd *node, rate float64, peer int32, capacity int) *device {
+	return &device{node: nd, rateBps: rate, fixedPeer: peer, ring: make([]queued, capacity)}
+}
+
+// NewNetwork builds the node and device fabric for a topology.
+func NewNetwork(s *Simulator, topo *routing.Topology, cfg Config) (*Network, error) {
+	cfg = cfg.WithDefaults()
+	if cfg.ISLRateBps < 0 || cfg.GSLRateBps < 0 {
+		return nil, fmt.Errorf("sim: negative link rate")
+	}
+	if cfg.QueuePackets < 0 {
+		return nil, fmt.Errorf("sim: negative queue capacity")
+	}
+	rateFor := func(node, peer int, fallback float64) float64 {
+		if cfg.RateFor != nil {
+			if r := cfg.RateFor(node, peer); r > 0 {
+				return r
+			}
+		}
+		return fallback
+	}
+	n := &Network{Sim: s, Topo: topo, cfg: cfg, posBucket: -1}
+	n.nodes = make([]*node, topo.NumNodes())
+	for i := range n.nodes {
+		nd := &node{id: i, net: n, isl: map[int32]*device{}}
+		nd.gsl = newDevice(nd, rateFor(i, -1, cfg.GSLRateBps), -1, cfg.QueuePackets)
+		if topo.IsGS(i) {
+			nd.flows = map[uint32]Handler{}
+		}
+		n.nodes[i] = nd
+	}
+	for _, isl := range topo.Constellation.ISLs {
+		a, b := n.nodes[isl.A], n.nodes[isl.B]
+		a.isl[int32(isl.B)] = newDevice(a, rateFor(isl.A, isl.B, cfg.ISLRateBps), int32(isl.B), cfg.QueuePackets)
+		b.isl[int32(isl.A)] = newDevice(b, rateFor(isl.B, isl.A, cfg.ISLRateBps), int32(isl.A), cfg.QueuePackets)
+	}
+	return n, nil
+}
+
+// Config returns the network's configuration (with defaults applied).
+func (n *Network) Config() Config { return n.cfg }
+
+// SetTransmitHook registers fn to observe every link transmission. Pass nil
+// to disable. Used by the utilization experiments (Figs 10, 14, 15).
+func (n *Network) SetTransmitHook(fn func(TransmitInfo)) { n.onTransmit = fn }
+
+// SetDropHook registers fn to observe every packet drop with the node where
+// it occurred and the reason. Pass nil to disable.
+func (n *Network) SetDropHook(fn func(node int, pkt *Packet, reason DropReason)) { n.onDrop = fn }
+
+// SetDeliverHook registers fn to observe every packet handed to a transport
+// handler at its destination ground station. Pass nil to disable.
+func (n *Network) SetDeliverHook(fn func(gs int, pkt *Packet)) { n.onDeliver = fn }
+
+// drop counts a drop and notifies the hook.
+func (n *Network) drop(node int, pkt *Packet, reason DropReason) {
+	n.drops[reason]++
+	if n.onDrop != nil {
+		n.onDrop(node, pkt, reason)
+	}
+}
+
+// InstallForwarding replaces the network-wide forwarding state. In-flight
+// and already-queued packets continue to their previously resolved next
+// hops (the paper's loss-free handoff assumption); only subsequent
+// forwarding decisions use the new state.
+func (n *Network) InstallForwarding(ft *routing.ForwardingTable) { n.ft = ft }
+
+// RegisterFlow attaches a transport handler for flowID at ground station
+// gs. Registering a duplicate flow id on the same station panics: flow ids
+// must be unique per endpoint.
+func (n *Network) RegisterFlow(gs int, flowID uint32, h Handler) {
+	nd := n.nodes[n.Topo.GSNode(gs)]
+	if _, dup := nd.flows[flowID]; dup {
+		panic(fmt.Sprintf("sim: duplicate flow %d at GS %d", flowID, gs))
+	}
+	nd.flows[flowID] = h
+}
+
+// UnregisterFlow removes a flow handler.
+func (n *Network) UnregisterFlow(gs int, flowID uint32) {
+	delete(n.nodes[n.Topo.GSNode(gs)].flows, flowID)
+}
+
+// Send injects a packet at its source ground station. The packet is
+// forwarded per the current forwarding state; the returned packet ID
+// identifies it in traces.
+func (n *Network) Send(srcGS, dstGS int, flowID uint32, size int, payload interface{}) uint64 {
+	n.nextPktID++
+	pkt := &Packet{
+		ID:      n.nextPktID,
+		SrcGS:   srcGS,
+		DstGS:   dstGS,
+		FlowID:  flowID,
+		Size:    size,
+		SentAt:  n.Sim.Now(),
+		Payload: payload,
+	}
+	n.forward(n.nodes[n.Topo.GSNode(srcGS)], pkt)
+	return pkt.ID
+}
+
+// Delivered returns the count of packets handed to transport handlers.
+func (n *Network) Delivered() uint64 { return n.delivered }
+
+// Drops returns the number of packets dropped for the given reason.
+func (n *Network) Drops(r DropReason) uint64 { return n.drops[r] }
+
+// TotalDrops returns all drops.
+func (n *Network) TotalDrops() uint64 {
+	var total uint64
+	for _, d := range n.drops {
+		total += d
+	}
+	return total
+}
+
+// positionsAt returns cached node positions for the quantized instant
+// containing t.
+func (n *Network) positionsAt(t Time) []geom.Vec3 {
+	bucket := t / n.cfg.PosQuantum
+	if bucket != n.posBucket || n.pos == nil {
+		n.pos = n.Topo.NodePositions(Time(bucket*n.cfg.PosQuantum).Seconds(), n.pos)
+		n.posBucket = bucket
+	}
+	return n.pos
+}
+
+// propagationDelay returns the current one-way propagation delay between
+// two nodes at time t.
+func (n *Network) propagationDelay(a, b int, t Time) Time {
+	pos := n.positionsAt(t)
+	return Seconds(pos[a].Distance(pos[b]) / geom.SpeedOfLight)
+}
+
+// forward routes a packet held by nd toward its destination GS.
+func (n *Network) forward(nd *node, pkt *Packet) {
+	if n.ft == nil {
+		panic("sim: no forwarding state installed")
+	}
+	if pkt.Hops >= n.cfg.MaxHops {
+		n.drop(nd.id, pkt, DropTTL)
+		return
+	}
+	nh := n.ft.NextHop(nd.id, pkt.DstGS)
+	if nh < 0 {
+		n.drop(nd.id, pkt, DropNoRoute)
+		return
+	}
+	dev := nd.isl[nh]
+	if dev == nil {
+		dev = nd.gsl
+	}
+	n.enqueue(dev, pkt, nh)
+}
+
+// enqueue appends the packet to the device's drop-tail queue and kicks the
+// transmitter if idle.
+func (n *Network) enqueue(dev *device, pkt *Packet, target int32) {
+	if dev.n == len(dev.ring) {
+		n.drop(dev.node.id, pkt, DropQueue)
+		return
+	}
+	dev.ring[(dev.head+dev.n)%len(dev.ring)] = queued{pkt: pkt, target: target}
+	dev.n++
+	if dev.n > dev.maxQueue {
+		dev.maxQueue = dev.n
+	}
+	if !dev.busy {
+		n.transmitNext(dev)
+	}
+}
+
+// transmitNext serializes the head-of-line packet, schedules its arrival at
+// the target after the propagation delay, and chains the next transmission.
+func (n *Network) transmitNext(dev *device) {
+	q := dev.ring[dev.head]
+	dev.ring[dev.head] = queued{}
+	dev.head = (dev.head + 1) % len(dev.ring)
+	dev.n--
+	dev.busy = true
+	dev.txPackets++
+	dev.txBytes += uint64(q.pkt.Size)
+
+	start := n.Sim.Now()
+	txTime := Seconds(float64(q.pkt.Size*8) / dev.rateBps)
+	n.Sim.Schedule(txTime, func() {
+		done := n.Sim.Now()
+		prop := n.propagationDelay(dev.node.id, int(q.target), done)
+		if n.onTransmit != nil {
+			n.onTransmit(TransmitInfo{
+				From: dev.node.id, To: int(q.target),
+				Packet: q.pkt, Start: start, Arrive: done + prop,
+			})
+		}
+		if n.cfg.LossModel != nil && n.cfg.LossModel(dev.node.id, int(q.target), done) {
+			n.drop(dev.node.id, q.pkt, DropLink)
+		} else {
+			target := n.nodes[q.target]
+			pkt := q.pkt
+			n.Sim.Schedule(prop, func() { n.receive(target, pkt) })
+		}
+		if dev.n > 0 {
+			n.transmitNext(dev)
+		} else {
+			dev.busy = false
+		}
+	})
+}
+
+// receive handles packet arrival at a node: local delivery at the
+// destination ground station, forwarding everywhere else.
+func (n *Network) receive(nd *node, pkt *Packet) {
+	pkt.Hops++
+	if n.Topo.IsGS(nd.id) && n.Topo.GSIndex(nd.id) == pkt.DstGS {
+		h := nd.flows[pkt.FlowID]
+		if h == nil {
+			n.drop(nd.id, pkt, DropNoHandler)
+			return
+		}
+		n.delivered++
+		if n.onDeliver != nil {
+			n.onDeliver(pkt.DstGS, pkt)
+		}
+		h(pkt)
+		return
+	}
+	n.forward(nd, pkt)
+}
+
+// QueueLen reports the queue occupancy of the device from node `from`
+// toward node `to` (an ISL device if the pair is an ISL, otherwise the GSL
+// device of `from`). Useful for tests and instrumentation.
+func (n *Network) QueueLen(from, to int) int {
+	nd := n.nodes[from]
+	if dev, ok := nd.isl[int32(to)]; ok {
+		return dev.n
+	}
+	return nd.gsl.n
+}

@@ -1,0 +1,456 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"hypatia/internal/constellation"
+	"hypatia/internal/geom"
+	"hypatia/internal/groundstation"
+	"hypatia/internal/routing"
+)
+
+// testTopo builds a dense-enough mini constellation with two well-covered
+// ground stations.
+func testTopo(t *testing.T) *routing.Topology {
+	t.Helper()
+	cfg := constellation.Config{
+		Name: "Mini",
+		Shells: []constellation.Shell{{
+			Name: "M1", AltitudeKm: 630, Orbits: 16, SatsPerOrbit: 16,
+			IncDeg: 53,
+		}},
+		MinElevDeg: 25,
+	}
+	c, err := constellation.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gss := []groundstation.GS{
+		{ID: 0, Name: "Istanbul", Position: geom.LLADeg(41.0082, 28.9784, 0)},
+		{ID: 1, Name: "Nairobi", Position: geom.LLADeg(-1.2921, 36.8219, 0)},
+		{ID: 2, Name: "NorthPole", Position: geom.LLADeg(89.5, 0, 0)},
+	}
+	topo, err := routing.NewTopology(c, gss, routing.GSLFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// testNet builds a network plus simulator with forwarding installed at t=0.
+func testNet(t *testing.T, cfg Config) (*Simulator, *Network, *routing.Topology) {
+	t.Helper()
+	topo := testTopo(t)
+	s := NewSimulator()
+	n, err := NewNetwork(s, topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.InstallForwarding(topo.Snapshot(0).ForwardingTable())
+	return s, n, topo
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	topo := testTopo(t)
+	if _, err := NewNetwork(NewSimulator(), topo, Config{ISLRateBps: -1}); err == nil {
+		t.Error("negative ISL rate accepted")
+	}
+	if _, err := NewNetwork(NewSimulator(), topo, Config{QueuePackets: -1}); err == nil {
+		t.Error("negative queue accepted")
+	}
+	// Zero values take the paper defaults.
+	n, err := NewNetwork(NewSimulator(), topo, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Config(); got.ISLRateBps != 10e6 || got.GSLRateBps != 10e6 || got.QueuePackets != 100 {
+		t.Errorf("defaults not applied: %+v", got)
+	}
+}
+
+func TestHeterogeneousLinkRates(t *testing.T) {
+	// Future-work extension: per-link capacity overrides. Make the source
+	// GS's uplink 10x faster; back-to-back packets then arrive spaced by
+	// the slower downstream links, but the first hop serializes 10x
+	// quicker, which shows up in one-packet latency.
+	cfg := DefaultConfig()
+	topo := testTopo(t)
+	cfg.RateFor = func(node, peer int) float64 {
+		if node == topo.GSNode(0) && peer == -1 {
+			return 100e6
+		}
+		return 0
+	}
+	s := NewSimulator()
+	n, err := NewNetwork(s, topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.InstallForwarding(topo.Snapshot(0).ForwardingTable())
+	var fastAt Time
+	n.RegisterFlow(1, 1, func(*Packet) { fastAt = s.Now() })
+	n.Send(0, 1, 1, 1500, nil)
+	s.Run(Second)
+
+	// Uniform-rate baseline for comparison.
+	s2 := NewSimulator()
+	n2, err := NewNetwork(s2, testTopo(t), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2.InstallForwarding(n2.Topo.Snapshot(0).ForwardingTable())
+	var slowAt Time
+	n2.RegisterFlow(1, 1, func(*Packet) { slowAt = s2.Now() })
+	n2.Send(0, 1, 1, 1500, nil)
+	s2.Run(Second)
+
+	if fastAt == 0 || slowAt == 0 {
+		t.Fatal("packets not delivered")
+	}
+	// The fast uplink saves 1500B*(1/10Mbps - 1/100Mbps) = 1.08 ms.
+	saved := slowAt - fastAt
+	if saved < Seconds(0.0009) || saved > Seconds(0.0013) {
+		t.Errorf("fast uplink saved %v, want about 1.08 ms", saved)
+	}
+}
+
+func TestLossModelDropsInFlight(t *testing.T) {
+	// Future-work extension: weather-style loss. Drop everything leaving
+	// the source ground station.
+	topo := testTopo(t)
+	cfg := DefaultConfig()
+	srcNode := topo.GSNode(0)
+	cfg.LossModel = func(from, to int, at Time) bool { return from == srcNode }
+	s := NewSimulator()
+	n, err := NewNetwork(s, topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.InstallForwarding(topo.Snapshot(0).ForwardingTable())
+	n.RegisterFlow(1, 1, func(*Packet) { t.Error("packet survived total loss") })
+	for i := 0; i < 5; i++ {
+		n.Send(0, 1, 1, 1500, nil)
+	}
+	s.Run(Second)
+	if got := n.Drops(DropLink); got != 5 {
+		t.Errorf("link-loss drops = %d, want 5", got)
+	}
+}
+
+func TestLossModelPartialLossStillDelivers(t *testing.T) {
+	// A 50% coin-flip loss (deterministic alternation) delivers roughly
+	// half the packets.
+	topo := testTopo(t)
+	cfg := DefaultConfig()
+	srcNode := topo.GSNode(0)
+	toggle := false
+	cfg.LossModel = func(from, to int, at Time) bool {
+		if from != srcNode {
+			return false
+		}
+		toggle = !toggle
+		return toggle
+	}
+	s := NewSimulator()
+	n, err := NewNetwork(s, topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.InstallForwarding(topo.Snapshot(0).ForwardingTable())
+	got := 0
+	n.RegisterFlow(1, 1, func(*Packet) { got++ })
+	for i := 0; i < 10; i++ {
+		n.Send(0, 1, 1, 1500, nil)
+	}
+	s.Run(Second)
+	if got != 5 {
+		t.Errorf("delivered %d of 10 under alternating loss", got)
+	}
+}
+
+func TestPacketDelivery(t *testing.T) {
+	s, n, topo := testNet(t, DefaultConfig())
+	var got *Packet
+	var at Time
+	n.RegisterFlow(1, 7, func(p *Packet) { got, at = p, s.Now() })
+
+	n.Send(0, 1, 7, 1500, "hello")
+	s.Run(Second)
+
+	if got == nil {
+		t.Fatal("packet not delivered")
+	}
+	if got.Payload != "hello" || got.SrcGS != 0 || got.DstGS != 1 {
+		t.Errorf("packet corrupted: %+v", got)
+	}
+	if n.Delivered() != 1 {
+		t.Errorf("delivered = %d", n.Delivered())
+	}
+
+	// Expected latency: per-hop serialization (1500 B at 10 Mb/s = 1.2 ms)
+	// plus propagation along the snapshot shortest path.
+	path, dist := topo.Snapshot(0).Path(0, 1)
+	if path == nil {
+		t.Fatal("no path in snapshot")
+	}
+	hops := len(path) - 1
+	want := Seconds(float64(hops)*1500*8/10e6) + Seconds(dist/geom.SpeedOfLight)
+	if diff := (at - want).Seconds(); math.Abs(diff) > 1e-3 {
+		t.Errorf("delivery at %v, want about %v (hops=%d)", at, want, hops)
+	}
+	if got.Hops != hops {
+		t.Errorf("hops = %d, want %d", got.Hops, hops)
+	}
+}
+
+func TestDeliveryToUnreachableDstDropsNoRoute(t *testing.T) {
+	_, n, _ := testNet(t, DefaultConfig())
+	// GS 2 is at the pole, invisible to a 53-degree-inclination shell at a
+	// 25-degree minimum elevation.
+	n.Send(0, 2, 1, 1500, nil)
+	n.Sim.Run(Second)
+	if n.Drops(DropNoRoute) != 1 {
+		t.Errorf("no-route drops = %d", n.Drops(DropNoRoute))
+	}
+	if n.Delivered() != 0 {
+		t.Error("packet to pole delivered")
+	}
+}
+
+func TestMissingHandlerDrops(t *testing.T) {
+	s, n, _ := testNet(t, DefaultConfig())
+	n.Send(0, 1, 42, 1500, nil) // no handler for flow 42
+	s.Run(Second)
+	if n.Drops(DropNoHandler) != 1 {
+		t.Errorf("no-handler drops = %d", n.Drops(DropNoHandler))
+	}
+}
+
+func TestQueueOverflowDrops(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueuePackets = 5
+	s, n, _ := testNet(t, cfg)
+	received := 0
+	n.RegisterFlow(1, 1, func(*Packet) { received++ })
+	// Burst 20 packets at once: 1 transmits immediately, 5 queue, 14 drop.
+	for i := 0; i < 20; i++ {
+		n.Send(0, 1, 1, 1500, nil)
+	}
+	s.Run(10 * Second)
+	if n.Drops(DropQueue) != 14 {
+		t.Errorf("queue drops = %d, want 14", n.Drops(DropQueue))
+	}
+	if received != 6 {
+		t.Errorf("received = %d, want 6", received)
+	}
+}
+
+func TestHopLimit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxHops = 1
+	s, n, topo := testNet(t, cfg)
+	n.RegisterFlow(1, 1, func(*Packet) { t.Error("multi-hop packet delivered under MaxHops=1") })
+	// The Istanbul->Nairobi path has at least 3 hops (up, >=1 ISL, down).
+	if path, _ := topo.Snapshot(0).Path(0, 1); len(path)-1 < 3 {
+		t.Skipf("unexpectedly short path %v", path)
+	}
+	n.Send(0, 1, 1, 1500, nil)
+	s.Run(Second)
+	if n.Drops(DropTTL) != 1 {
+		t.Errorf("ttl drops = %d", n.Drops(DropTTL))
+	}
+}
+
+func TestFIFODeliveryOrder(t *testing.T) {
+	s, n, _ := testNet(t, DefaultConfig())
+	var got []int
+	n.RegisterFlow(1, 1, func(p *Packet) { got = append(got, p.Payload.(int)) })
+	for i := 0; i < 10; i++ {
+		n.Send(0, 1, 1, 1500, i)
+	}
+	s.Run(Second)
+	if len(got) != 10 {
+		t.Fatalf("received %d", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("reordered on stable path: %v", got)
+		}
+	}
+}
+
+func TestSerializationSpacing(t *testing.T) {
+	// Back-to-back packets on the same path must arrive at least one
+	// serialization time apart (10 Mb/s, 1500 B => 1.2 ms).
+	s, n, _ := testNet(t, DefaultConfig())
+	var arrivals []Time
+	n.RegisterFlow(1, 1, func(*Packet) { arrivals = append(arrivals, s.Now()) })
+	for i := 0; i < 5; i++ {
+		n.Send(0, 1, 1, 1500, nil)
+	}
+	s.Run(Second)
+	if len(arrivals) != 5 {
+		t.Fatalf("arrivals = %d", len(arrivals))
+	}
+	wantGap := Seconds(1500 * 8 / 10e6)
+	for i := 1; i < len(arrivals); i++ {
+		gap := arrivals[i] - arrivals[i-1]
+		if gap < wantGap-Microsecond {
+			t.Errorf("gap %d = %v, want >= %v", i, gap, wantGap)
+		}
+	}
+}
+
+func TestDuplicateFlowRegistrationPanics(t *testing.T) {
+	_, n, _ := testNet(t, DefaultConfig())
+	n.RegisterFlow(0, 1, func(*Packet) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	n.RegisterFlow(0, 1, func(*Packet) {})
+}
+
+func TestUnregisterFlow(t *testing.T) {
+	s, n, _ := testNet(t, DefaultConfig())
+	n.RegisterFlow(1, 1, func(*Packet) { t.Error("handler called after unregister") })
+	n.UnregisterFlow(1, 1)
+	n.Send(0, 1, 1, 1500, nil)
+	s.Run(Second)
+	if n.Drops(DropNoHandler) != 1 {
+		t.Error("expected no-handler drop after unregister")
+	}
+}
+
+func TestInFlightPacketsSurviveForwardingChange(t *testing.T) {
+	// Loss-free handoff: packets sent under the old forwarding state are
+	// delivered even if the state changes while they are in flight.
+	s, n, topo := testNet(t, DefaultConfig())
+	delivered := 0
+	n.RegisterFlow(1, 1, func(*Packet) { delivered++ })
+	if p, _ := topo.Snapshot(1).Path(0, 1); p == nil {
+		t.Skip("pair disconnected at t=1 in mini constellation")
+	}
+	n.Send(0, 1, 1, 1500, nil)
+	// Replace forwarding nearly immediately (well before the ~tens of ms
+	// delivery completes).
+	s.Schedule(Microsecond, func() {
+		n.InstallForwarding(topo.Snapshot(1).ForwardingTable())
+	})
+	s.Run(Second)
+	if delivered != 1 {
+		t.Errorf("delivered = %d, want 1", delivered)
+	}
+}
+
+func TestTransmitHookObservesEveryHop(t *testing.T) {
+	s, n, topo := testNet(t, DefaultConfig())
+	var infos []TransmitInfo
+	n.SetTransmitHook(func(ti TransmitInfo) { infos = append(infos, ti) })
+	n.RegisterFlow(1, 1, func(*Packet) {})
+	n.Send(0, 1, 1, 1500, nil)
+	s.Run(Second)
+	path, _ := topo.Snapshot(0).Path(0, 1)
+	if len(infos) != len(path)-1 {
+		t.Fatalf("observed %d transmissions, want %d", len(infos), len(path)-1)
+	}
+	for i, ti := range infos {
+		if ti.From != path[i] || ti.To != path[i+1] {
+			t.Errorf("hop %d: %d->%d, want %d->%d", i, ti.From, ti.To, path[i], path[i+1])
+		}
+		if ti.Arrive <= ti.Start {
+			t.Errorf("hop %d: arrive %v <= start %v", i, ti.Arrive, ti.Start)
+		}
+	}
+}
+
+func TestQueueLen(t *testing.T) {
+	s, n, _ := testNet(t, DefaultConfig())
+	n.RegisterFlow(1, 1, func(*Packet) {})
+	for i := 0; i < 10; i++ {
+		n.Send(0, 1, 1, 1500, nil)
+	}
+	// Before the simulator runs, 1 is in transmission and 9 queued on the
+	// source's GSL device.
+	srcNode := n.Topo.GSNode(0)
+	if got := n.QueueLen(srcNode, 0); got != 9 {
+		t.Errorf("queue length = %d, want 9", got)
+	}
+	s.Run(Second)
+	if got := n.QueueLen(srcNode, 0); got != 0 {
+		t.Errorf("queue length after drain = %d", got)
+	}
+}
+
+func TestSendWithoutForwardingPanics(t *testing.T) {
+	topo := testTopo(t)
+	n, err := NewNetwork(NewSimulator(), topo, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	n.Send(0, 1, 1, 100, nil)
+}
+
+func TestDropReasonString(t *testing.T) {
+	for r, want := range map[DropReason]string{
+		DropQueue: "queue-full", DropNoRoute: "no-route",
+		DropTTL: "ttl-exceeded", DropNoHandler: "no-handler",
+		numDropReasons: "unknown",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("String(%d) = %q", r, got)
+		}
+	}
+}
+
+func TestDeviceStats(t *testing.T) {
+	s, n, topo := testNet(t, DefaultConfig())
+	n.RegisterFlow(1, 1, func(*Packet) {})
+	for i := 0; i < 10; i++ {
+		n.Send(0, 1, 1, 1500, nil)
+	}
+	s.Run(Second)
+	stats := n.DeviceStats()
+	// One GSL device per node plus two ISL devices per satellite (4 per
+	// sat shared pairwise = 4 entries per sat).
+	wantDevs := topo.NumNodes() + 4*topo.NumSats()
+	if len(stats) != wantDevs {
+		t.Fatalf("devices = %d, want %d", len(stats), wantDevs)
+	}
+	var srcGSL *DeviceStats
+	var totalTx uint64
+	for i := range stats {
+		st := &stats[i]
+		if st.MaxQueue < 0 || st.TxBytes < st.TxPkts {
+			t.Fatalf("implausible stats %+v", st)
+		}
+		totalTx += st.TxPkts
+		if st.Node == topo.GSNode(0) && st.Peer == -1 {
+			srcGSL = st
+		}
+	}
+	if srcGSL == nil {
+		t.Fatal("source GSL device missing")
+	}
+	if srcGSL.TxPkts != 10 {
+		t.Errorf("source GSL sent %d packets, want 10", srcGSL.TxPkts)
+	}
+	if srcGSL.MaxQueue != 9 {
+		t.Errorf("source GSL max queue = %d, want 9", srcGSL.MaxQueue)
+	}
+	if srcGSL.TxBytes != 15000 {
+		t.Errorf("source GSL bytes = %d", srcGSL.TxBytes)
+	}
+	// Every hop shows up somewhere.
+	path, _ := topo.Snapshot(0).Path(0, 1)
+	if totalTx != uint64(10*(len(path)-1)) {
+		t.Errorf("total transmissions = %d, want %d", totalTx, 10*(len(path)-1))
+	}
+}

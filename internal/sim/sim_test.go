@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := NewSimulator()
+	var order []int
+	s.Schedule(3*Second, func() { order = append(order, 3) })
+	s.Schedule(1*Second, func() { order = append(order, 1) })
+	s.Schedule(2*Second, func() { order = append(order, 2) })
+	s.Run(10 * Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 10*Second {
+		t.Errorf("clock = %v", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := NewSimulator()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(Second, func() { order = append(order, i) })
+	}
+	s.Run(Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewSimulator()
+	var times []Time
+	var tick func()
+	tick = func() {
+		times = append(times, s.Now())
+		if len(times) < 5 {
+			s.Schedule(100*Millisecond, tick)
+		}
+	}
+	s.Schedule(0, tick)
+	s.Run(Second)
+	if len(times) != 5 {
+		t.Fatalf("ticks = %d", len(times))
+	}
+	for i, at := range times {
+		if want := Time(i) * 100 * Millisecond; at != want {
+			t.Errorf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestRunStopsAtUntil(t *testing.T) {
+	s := NewSimulator()
+	fired := false
+	s.Schedule(2*Second, func() { fired = true })
+	s.Run(Second)
+	if fired {
+		t.Error("future event fired early")
+	}
+	if s.Now() != Second {
+		t.Errorf("clock = %v", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+	s.Run(3 * Second)
+	if !fired {
+		t.Error("event did not fire on resumed run")
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := NewSimulator()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.Schedule(Time(i)*Second, func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run(100 * Second)
+	if count != 3 {
+		t.Errorf("count = %d, want 3 (stopped)", count)
+	}
+	if s.Now() != 3*Second {
+		t.Errorf("clock = %v", s.Now())
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewSimulator().Schedule(-1, func() {})
+}
+
+func TestScheduleAtPastPanics(t *testing.T) {
+	s := NewSimulator()
+	s.Schedule(Second, func() { s.ScheduleAt(0, func() {}) })
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	s.Run(2 * Second)
+}
+
+func TestProcessedCount(t *testing.T) {
+	s := NewSimulator()
+	for i := 0; i < 7; i++ {
+		s.Schedule(Time(i), func() {})
+	}
+	s.Run(Second)
+	if s.Processed() != 7 {
+		t.Errorf("processed = %d", s.Processed())
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if Seconds(1.5) != 1500*Millisecond {
+		t.Errorf("Seconds(1.5) = %v", Seconds(1.5))
+	}
+	if got := (2500 * Millisecond).Seconds(); got != 2.5 {
+		t.Errorf("Seconds() = %v", got)
+	}
+	if s := (1234 * Millisecond).String(); s != "1.234s" {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,68 @@
+package tle
+
+import (
+	"strings"
+	"testing"
+
+	"hypatia/internal/geom"
+	"hypatia/internal/orbit"
+)
+
+// FuzzParse exercises the TLE parser with arbitrary input: it must never
+// panic, and anything it accepts must re-serialize to lines that parse
+// again to the same element values.
+func FuzzParse(f *testing.F) {
+	f.Add(issTLE)
+	f.Add("1 25544U\n2 25544")
+	f.Add("")
+	f.Add("name only")
+	l1, l2 := mustGenerated(f)
+	f.Add(l1 + "\n" + l2)
+	f.Add("X\n" + l1 + "\n" + l2)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		parsed, err := Parse(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted TLEs re-serialize into valid lines that parse again to
+		// the same core identity (range validation in Parse guarantees the
+		// values fit the fixed-width format).
+		out1, out2 := parsed.Lines()
+		text := out1 + "\n" + out2
+		if parsed.Name != "" && !strings.HasPrefix(parsed.Name, "1 ") && !strings.HasPrefix(parsed.Name, "2 ") {
+			text = parsed.Name + "\n" + text
+		}
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("canonical TLE did not round-trip: %v\n%s\n%s", err, out1, out2)
+		}
+		if back.SatelliteNum != parsed.SatelliteNum {
+			t.Fatalf("satellite number changed: %d -> %d", parsed.SatelliteNum, back.SatelliteNum)
+		}
+	})
+}
+
+// FuzzParseCatalog must never panic on arbitrary catalogs.
+func FuzzParseCatalog(f *testing.F) {
+	l1, l2 := mustGenerated(f)
+	f.Add(l1 + "\n" + l2 + "\n\nA\n" + l1 + "\n" + l2)
+	f.Add("garbage\nlines\neverywhere")
+	f.Fuzz(func(t *testing.T, input string) {
+		_, _ = ParseCatalog(input)
+	})
+}
+
+func mustGenerated(f *testing.F) (string, string) {
+	f.Helper()
+	tt, err := FromElements("SEED", 1, 2024, 1.5, testElements())
+	if err != nil {
+		f.Fatal(err)
+	}
+	return tt.Lines()
+}
+
+// testElements returns a valid circular LEO element set for fuzz seeds.
+func testElements() orbit.Elements {
+	return orbit.Circular(630e3, geom.Rad(51.9), geom.Rad(42), geom.Rad(123))
+}

@@ -1,0 +1,454 @@
+// Package tle implements the two-line element (TLE) substrate: generation of
+// TLEs from Keplerian orbital elements — the utility the Hypatia paper built
+// to describe not-yet-launched constellations in the space-industry standard
+// format — and parsing of TLEs back into element sets, with checksum
+// validation and epoch arithmetic. Values follow the WGS72 geodetic
+// standard, matching the constants in the geom package.
+//
+// A TLE is two fixed-width 69-column lines, optionally preceded by a name
+// line. The fields relevant to constellation simulation are the epoch, the
+// six orbital elements, and the mean motion in revolutions per day.
+package tle
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"hypatia/internal/geom"
+	"hypatia/internal/orbit"
+)
+
+// LineLength is the mandatory length of each of the two element lines.
+const LineLength = 69
+
+// TLE is a parsed or to-be-formatted two-line element set.
+type TLE struct {
+	Name           string  // optional title line (line 0)
+	SatelliteNum   int     // NORAD catalog number, 1..99999
+	Classification byte    // 'U' unclassified
+	IntlDesignator string  // international designator, e.g. "24001A"
+	EpochYear      int     // full four-digit year
+	EpochDay       float64 // fractional day of year, 1.0 = Jan 1 00:00 UTC
+
+	// Mean-motion derivatives and drag term; zero for generated
+	// constellations (circular orbits, no drag model).
+	MeanMotionDot  float64 // rev/day^2 (first derivative / 2 in the file)
+	MeanMotionDDot float64 // rev/day^3 (second derivative / 6 in the file)
+	BStar          float64 // drag term, 1/earth radii
+
+	ElementSetNum int
+	RevAtEpoch    int
+
+	InclinationDeg float64 // degrees
+	RAANDeg        float64 // degrees
+	Eccentricity   float64 // dimensionless
+	ArgPerigeeDeg  float64 // degrees
+	MeanAnomalyDeg float64 // degrees
+	MeanMotion     float64 // revolutions per day
+}
+
+// FromElements builds a TLE from a Keplerian element set. The epoch is given
+// as a full year and fractional day-of-year.
+func FromElements(name string, satNum int, epochYear int, epochDay float64, e orbit.Elements) (TLE, error) {
+	if err := e.Validate(); err != nil {
+		return TLE{}, err
+	}
+	if satNum < 1 || satNum > 99999 {
+		return TLE{}, fmt.Errorf("tle: satellite number %d outside 1..99999", satNum)
+	}
+	if epochDay < 1 || epochDay >= 367 {
+		return TLE{}, fmt.Errorf("tle: epoch day %v outside [1, 367)", epochDay)
+	}
+	revPerDay := e.MeanMotion() * geom.SecondsPerDay / (2 * math.Pi)
+	return TLE{
+		Name:           name,
+		SatelliteNum:   satNum,
+		Classification: 'U',
+		IntlDesignator: fmt.Sprintf("%02d%03dA", epochYear%100, satNum%1000),
+		EpochYear:      epochYear,
+		EpochDay:       epochDay,
+		ElementSetNum:  1,
+		RevAtEpoch:     1,
+		InclinationDeg: normDeg(geom.Deg(e.Inclination)),
+		RAANDeg:        normDeg(geom.Deg(e.RAAN)),
+		Eccentricity:   e.Eccentricity,
+		ArgPerigeeDeg:  normDeg(geom.Deg(e.ArgPerigee)),
+		MeanAnomalyDeg: normDeg(geom.Deg(e.MeanAnomaly)),
+		MeanMotion:     revPerDay,
+	}, nil
+}
+
+// normDeg maps an angle in degrees to [0, 360).
+func normDeg(d float64) float64 {
+	d = math.Mod(d, 360)
+	if d < 0 {
+		d += 360
+	}
+	return d
+}
+
+// Elements converts the TLE back to a Keplerian element set, recovering the
+// semi-major axis from the mean motion under WGS72 gravity.
+func (t TLE) Elements() orbit.Elements {
+	n := t.MeanMotion * 2 * math.Pi / geom.SecondsPerDay // rad/s
+	a := math.Cbrt(geom.EarthMu / (n * n))
+	return orbit.Elements{
+		SemiMajorAxis: a,
+		Eccentricity:  t.Eccentricity,
+		Inclination:   geom.Rad(t.InclinationDeg),
+		RAAN:          geom.Rad(t.RAANDeg),
+		ArgPerigee:    geom.Rad(t.ArgPerigeeDeg),
+		MeanAnomaly:   geom.Rad(t.MeanAnomalyDeg),
+	}
+}
+
+// Checksum computes the TLE checksum of a line's first 68 columns: the sum
+// of all digits plus one per minus sign, modulo 10.
+func Checksum(line string) int {
+	sum := 0
+	n := len(line)
+	if n > 68 {
+		n = 68
+	}
+	for i := 0; i < n; i++ {
+		switch c := line[i]; {
+		case c >= '0' && c <= '9':
+			sum += int(c - '0')
+		case c == '-':
+			sum++
+		}
+	}
+	return sum % 10
+}
+
+// Lines formats the TLE as its two 69-column element lines.
+func (t TLE) Lines() (string, string) {
+	l1 := fmt.Sprintf("1 %05d%c %-8s %02d%012.8f %s %s %s 0 %4d",
+		t.SatelliteNum, t.Classification, t.IntlDesignator,
+		t.EpochYear%100, t.EpochDay,
+		fmtMeanMotionDot(t.MeanMotionDot),
+		fmtExp(t.MeanMotionDDot),
+		fmtExp(t.BStar),
+		t.ElementSetNum%10000)
+	l1 += strconv.Itoa(Checksum(l1))
+
+	l2 := fmt.Sprintf("2 %05d %8.4f %8.4f %07d %8.4f %8.4f %11.8f%5d",
+		t.SatelliteNum,
+		t.InclinationDeg, t.RAANDeg,
+		int(math.Round(t.Eccentricity*1e7)),
+		t.ArgPerigeeDeg, t.MeanAnomalyDeg,
+		t.MeanMotion, t.RevAtEpoch%100000)
+	l2 += strconv.Itoa(Checksum(l2))
+	return l1, l2
+}
+
+// String renders the TLE including its name line, newline-separated.
+func (t TLE) String() string {
+	l1, l2 := t.Lines()
+	if t.Name == "" {
+		return l1 + "\n" + l2
+	}
+	return t.Name + "\n" + l1 + "\n" + l2
+}
+
+// fmtMeanMotionDot renders the first-derivative field (columns 34-43):
+// a sign column followed by ".NNNNNNNN".
+func fmtMeanMotionDot(v float64) string {
+	sign := " "
+	if v < 0 {
+		sign = "-"
+		v = -v
+	}
+	s := fmt.Sprintf("%.8f", v)
+	// Strip the leading "0" of "0.XXXXXXXX".
+	return sign + s[1:]
+}
+
+// fmtExp renders the TLE "exponential" fields (second derivative, BSTAR):
+// " NNNNN-E" meaning 0.NNNNN * 10^-E, with an assumed leading decimal point.
+func fmtExp(v float64) string {
+	if v == 0 {
+		return " 00000-0"
+	}
+	sign := " "
+	if v < 0 {
+		sign = "-"
+		v = -v
+	}
+	exp := int(math.Floor(math.Log10(v))) + 1
+	mant := v / math.Pow(10, float64(exp))
+	digits := int(math.Round(mant * 1e5))
+	if digits >= 1e5 { // rounding pushed the mantissa to 1.0
+		digits /= 10
+		exp++
+	}
+	expSign := "-"
+	e := -exp
+	if exp > 0 {
+		expSign = "+"
+		e = exp
+	}
+	if e > 9 {
+		e = 9
+	}
+	return fmt.Sprintf("%s%05d%s%d", sign, digits, expSign, e)
+}
+
+// Parse parses a two- or three-line TLE (an optional name line followed by
+// the two element lines), validating line structure and checksums.
+func Parse(text string) (TLE, error) {
+	var lines []string
+	for _, l := range strings.Split(strings.ReplaceAll(text, "\r\n", "\n"), "\n") {
+		if strings.TrimSpace(l) != "" {
+			lines = append(lines, strings.TrimRight(l, " "))
+		}
+	}
+	var t TLE
+	switch len(lines) {
+	case 2:
+	case 3:
+		t.Name = strings.TrimSpace(lines[0])
+		lines = lines[1:]
+	default:
+		return TLE{}, fmt.Errorf("tle: expected 2 or 3 lines, got %d", len(lines))
+	}
+	if err := parseLine1(lines[0], &t); err != nil {
+		return TLE{}, err
+	}
+	if err := parseLine2(lines[1], &t); err != nil {
+		return TLE{}, err
+	}
+	if t.SatelliteNum == 0 {
+		return TLE{}, fmt.Errorf("tle: missing satellite number")
+	}
+	if err := t.validateRanges(); err != nil {
+		return TLE{}, err
+	}
+	return t, nil
+}
+
+// validateRanges rejects semantically impossible field values. A line of
+// digits can pass the checksum by coincidence; these bounds are what make
+// an accepted TLE meaningful (and guarantee it re-serializes into the
+// fixed-width format).
+func (t TLE) validateRanges() error {
+	if t.EpochDay < 0 || t.EpochDay >= 367 {
+		return fmt.Errorf("tle: epoch day %v out of range", t.EpochDay)
+	}
+	if math.Abs(t.MeanMotionDot) >= 1 {
+		return fmt.Errorf("tle: mean motion derivative %v out of range", t.MeanMotionDot)
+	}
+	if math.Abs(t.MeanMotionDDot) >= 1 || math.Abs(t.BStar) >= 1 {
+		return fmt.Errorf("tle: drag terms out of range")
+	}
+	for name, v := range map[string]float64{
+		"inclination":         t.InclinationDeg,
+		"raan":                t.RAANDeg,
+		"argument of perigee": t.ArgPerigeeDeg,
+		"mean anomaly":        t.MeanAnomalyDeg,
+	} {
+		if v < 0 || v >= 360 {
+			return fmt.Errorf("tle: %s %v out of [0, 360)", name, v)
+		}
+	}
+	if t.InclinationDeg > 180 {
+		return fmt.Errorf("tle: inclination %v above 180", t.InclinationDeg)
+	}
+	if t.Eccentricity < 0 || t.Eccentricity >= 1 {
+		return fmt.Errorf("tle: eccentricity %v out of [0, 1)", t.Eccentricity)
+	}
+	if t.MeanMotion <= 0 || t.MeanMotion >= 100 {
+		return fmt.Errorf("tle: mean motion %v out of (0, 100)", t.MeanMotion)
+	}
+	return nil
+}
+
+func checkLine(line string, wantFirst byte) error {
+	if len(line) < LineLength {
+		return fmt.Errorf("tle: line %q is %d columns, want %d", line, len(line), LineLength)
+	}
+	if line[0] != wantFirst {
+		return fmt.Errorf("tle: line starts with %q, want %q", line[0], wantFirst)
+	}
+	got := int(line[68] - '0')
+	if want := Checksum(line); got != want {
+		return fmt.Errorf("tle: checksum mismatch on line %d: got %d, want %d", wantFirst-'0', got, want)
+	}
+	return nil
+}
+
+func parseFloat(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func parseInt(s string) (int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.Atoi(s)
+}
+
+func parseLine1(line string, t *TLE) error {
+	if err := checkLine(line, '1'); err != nil {
+		return err
+	}
+	var err error
+	if t.SatelliteNum, err = parseInt(line[2:7]); err != nil {
+		return fmt.Errorf("tle: satellite number: %w", err)
+	}
+	t.Classification = line[7]
+	t.IntlDesignator = strings.TrimSpace(line[9:17])
+	yy, err := parseInt(line[18:20])
+	if err != nil {
+		return fmt.Errorf("tle: epoch year: %w", err)
+	}
+	// Standard TLE convention: 57-99 => 1900s, 00-56 => 2000s.
+	if yy >= 57 {
+		t.EpochYear = 1900 + yy
+	} else {
+		t.EpochYear = 2000 + yy
+	}
+	if t.EpochDay, err = parseFloat(line[20:32]); err != nil {
+		return fmt.Errorf("tle: epoch day: %w", err)
+	}
+	if t.MeanMotionDot, err = parseFloat(strings.Replace(strings.TrimSpace(line[33:43]), ".", "0.", 1)); err != nil {
+		// The field is "±.NNNNNNNN"; reconstitute the implied leading zero.
+		return fmt.Errorf("tle: mean motion dot: %w", err)
+	}
+	if t.MeanMotionDDot, err = parseExpField(line[44:52]); err != nil {
+		return fmt.Errorf("tle: mean motion ddot: %w", err)
+	}
+	if t.BStar, err = parseExpField(line[53:61]); err != nil {
+		return fmt.Errorf("tle: bstar: %w", err)
+	}
+	if t.ElementSetNum, err = parseInt(line[64:68]); err != nil {
+		return fmt.Errorf("tle: element set number: %w", err)
+	}
+	return nil
+}
+
+// parseExpField parses the " NNNNN-E" implied-decimal exponential format.
+func parseExpField(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "00000-0" || s == "00000+0" {
+		return 0, nil
+	}
+	sign := 1.0
+	if strings.HasPrefix(s, "-") {
+		sign = -1
+		s = s[1:]
+	} else {
+		s = strings.TrimPrefix(s, "+")
+	}
+	// Split mantissa digits from trailing exponent (sign + digit).
+	cut := strings.LastIndexAny(s, "+-")
+	if cut <= 0 {
+		return 0, fmt.Errorf("malformed exponential field %q", s)
+	}
+	mant, err := strconv.ParseFloat("0."+s[:cut], 64)
+	if err != nil {
+		return 0, err
+	}
+	exp, err := strconv.Atoi(s[cut:])
+	if err != nil {
+		return 0, err
+	}
+	return sign * mant * math.Pow(10, float64(exp)), nil
+}
+
+func parseLine2(line string, t *TLE) error {
+	if err := checkLine(line, '2'); err != nil {
+		return err
+	}
+	num, err := parseInt(line[2:7])
+	if err != nil {
+		return fmt.Errorf("tle: satellite number: %w", err)
+	}
+	if num != t.SatelliteNum {
+		return fmt.Errorf("tle: line 2 satellite %d does not match line 1 satellite %d", num, t.SatelliteNum)
+	}
+	if t.InclinationDeg, err = parseFloat(line[8:16]); err != nil {
+		return fmt.Errorf("tle: inclination: %w", err)
+	}
+	if t.RAANDeg, err = parseFloat(line[17:25]); err != nil {
+		return fmt.Errorf("tle: raan: %w", err)
+	}
+	eccDigits, err := parseInt(line[26:33])
+	if err != nil {
+		return fmt.Errorf("tle: eccentricity: %w", err)
+	}
+	t.Eccentricity = float64(eccDigits) / 1e7
+	if t.ArgPerigeeDeg, err = parseFloat(line[34:42]); err != nil {
+		return fmt.Errorf("tle: argument of perigee: %w", err)
+	}
+	if t.MeanAnomalyDeg, err = parseFloat(line[43:51]); err != nil {
+		return fmt.Errorf("tle: mean anomaly: %w", err)
+	}
+	if t.MeanMotion, err = parseFloat(line[52:63]); err != nil {
+		return fmt.Errorf("tle: mean motion: %w", err)
+	}
+	if t.RevAtEpoch, err = parseInt(line[63:68]); err != nil {
+		return fmt.Errorf("tle: rev at epoch: %w", err)
+	}
+	return nil
+}
+
+// ParseCatalog parses a concatenation of TLEs (each 2 or 3 lines). Blank
+// lines between entries are ignored. Name lines are detected as lines not
+// starting with "1 " or "2 ".
+func ParseCatalog(text string) ([]TLE, error) {
+	var out []TLE
+	var pending []string
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		t, err := Parse(strings.Join(pending, "\n"))
+		if err != nil {
+			return err
+		}
+		out = append(out, t)
+		pending = nil
+		return nil
+	}
+	for _, l := range strings.Split(strings.ReplaceAll(text, "\r\n", "\n"), "\n") {
+		if strings.TrimSpace(l) == "" {
+			continue
+		}
+		isL1 := strings.HasPrefix(l, "1 ")
+		isL2 := strings.HasPrefix(l, "2 ")
+		switch {
+		case !isL1 && !isL2: // name line starts a new entry
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			pending = append(pending, l)
+		case isL1:
+			if len(pending) > 0 && strings.HasPrefix(pending[len(pending)-1], "1 ") {
+				return nil, fmt.Errorf("tle: two consecutive line-1 entries")
+			}
+			if len(pending) > 1 || (len(pending) == 1 && strings.HasPrefix(pending[0], "2 ")) {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+			}
+			pending = append(pending, l)
+		case isL2:
+			pending = append(pending, l)
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,372 @@
+package tle
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hypatia/internal/geom"
+	"hypatia/internal/orbit"
+)
+
+// issTLE is an ISS element set in the standard format (checksums valid).
+const issTLE = `ISS (ZARYA)
+1 25544U 98067A   20062.59097222  .00016717  00000-0  10270-3 0  9003
+2 25544  51.6442 147.8798 0004893 288.1235 125.3022 15.49249258 15292`
+
+func TestChecksumKnownLines(t *testing.T) {
+	lines := strings.Split(issTLE, "\n")
+	for _, l := range lines[1:] {
+		want := int(l[68] - '0')
+		if got := Checksum(l); got != want {
+			t.Errorf("checksum(%q) = %d, want %d", l, got, want)
+		}
+	}
+}
+
+func TestParseISS(t *testing.T) {
+	tt, err := Parse(issTLE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Name != "ISS (ZARYA)" {
+		t.Errorf("Name = %q", tt.Name)
+	}
+	if tt.SatelliteNum != 25544 {
+		t.Errorf("SatelliteNum = %d", tt.SatelliteNum)
+	}
+	if tt.EpochYear != 2020 {
+		t.Errorf("EpochYear = %d", tt.EpochYear)
+	}
+	if math.Abs(tt.EpochDay-62.59097222) > 1e-8 {
+		t.Errorf("EpochDay = %v", tt.EpochDay)
+	}
+	if math.Abs(tt.InclinationDeg-51.6442) > 1e-6 {
+		t.Errorf("Inclination = %v", tt.InclinationDeg)
+	}
+	if math.Abs(tt.Eccentricity-0.0004893) > 1e-9 {
+		t.Errorf("Eccentricity = %v", tt.Eccentricity)
+	}
+	if math.Abs(tt.MeanMotion-15.49249258) > 1e-8 {
+		t.Errorf("MeanMotion = %v", tt.MeanMotion)
+	}
+	if math.Abs(tt.BStar-1.0270e-4) > 1e-9 {
+		t.Errorf("BStar = %v", tt.BStar)
+	}
+	if math.Abs(tt.MeanMotionDot-0.00016717) > 1e-10 {
+		t.Errorf("MeanMotionDot = %v", tt.MeanMotionDot)
+	}
+	// The recovered semi-major axis should put the ISS near 420 km altitude
+	// (WGS72 recovery from mean motion lands within ~15 km of that).
+	alt := tt.Elements().Altitude()
+	if alt < 390e3 || alt > 450e3 {
+		t.Errorf("ISS altitude from mean motion = %v km", alt/1000)
+	}
+}
+
+func TestParseRejectsCorruptChecksum(t *testing.T) {
+	bad := strings.Replace(issTLE, "9003", "9005", 1)
+	if _, err := Parse(bad); err == nil {
+		t.Error("corrupt checksum accepted")
+	}
+}
+
+func TestParseRejectsShortLine(t *testing.T) {
+	if _, err := Parse("1 25544U\n2 25544"); err == nil {
+		t.Error("short lines accepted")
+	}
+}
+
+func TestParseRejectsMismatchedSatNums(t *testing.T) {
+	lines := strings.Split(issTLE, "\n")
+	l2 := strings.Replace(lines[2], "25544", "25545", 1)
+	l2 = l2[:68] + string(rune('0'+Checksum(l2[:68])))
+	if _, err := Parse(lines[1] + "\n" + l2); err == nil {
+		t.Error("mismatched satellite numbers accepted")
+	}
+}
+
+func TestParseRejectsWrongLineCount(t *testing.T) {
+	if _, err := Parse("just one line"); err == nil {
+		t.Error("single line accepted")
+	}
+	if _, err := Parse("a\nb\nc\nd"); err == nil {
+		t.Error("four lines accepted")
+	}
+}
+
+func TestFromElementsRoundTrip(t *testing.T) {
+	// The paper validated its Keplerian->TLE utility by checking (with
+	// pyephem) that the TLE describes the same constellation as the input
+	// elements. The equivalent here: format the TLE, parse it back, and
+	// compare the recovered element set.
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 200; i++ {
+		e := orbit.Elements{
+			SemiMajorAxis: geom.EarthRadius + 500e3 + r.Float64()*1.5e6,
+			Eccentricity:  math.Round(r.Float64()*0.01*1e7) / 1e7,
+			Inclination:   geom.Rad(math.Round(r.Float64()*179*1e4) / 1e4),
+			RAAN:          geom.Rad(math.Round(r.Float64()*359*1e4) / 1e4),
+			ArgPerigee:    0,
+			MeanAnomaly:   geom.Rad(math.Round(r.Float64()*359*1e4) / 1e4),
+		}
+		tt, err := FromElements("SAT", i+1, 2024, 1.5, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := Parse(tt.String())
+		if err != nil {
+			t.Fatalf("generated TLE does not parse: %v\n%s", err, tt.String())
+		}
+		back := parsed.Elements()
+		if math.Abs(back.SemiMajorAxis-e.SemiMajorAxis) > 50 {
+			t.Fatalf("semi-major axis: %v -> %v", e.SemiMajorAxis, back.SemiMajorAxis)
+		}
+		if math.Abs(back.Eccentricity-e.Eccentricity) > 1e-7 {
+			t.Fatalf("eccentricity: %v -> %v", e.Eccentricity, back.Eccentricity)
+		}
+		for name, pair := range map[string][2]float64{
+			"inclination":  {e.Inclination, back.Inclination},
+			"raan":         {e.RAAN, back.RAAN},
+			"mean anomaly": {e.MeanAnomaly, back.MeanAnomaly},
+		} {
+			if math.Abs(pair[0]-pair[1]) > geom.Rad(0.0001) {
+				t.Fatalf("%s: %v -> %v", name, pair[0], pair[1])
+			}
+		}
+	}
+}
+
+func TestGeneratedTLEPropagatesLikeSource(t *testing.T) {
+	// Stronger round-trip: propagate both the source elements and the
+	// parsed-back elements and compare positions over an orbit.
+	e := orbit.Circular(630e3, geom.Rad(51.9), geom.Rad(42.3537), geom.Rad(123.4567))
+	tt, err := FromElements("KUIPER-TEST", 1, 2024, 100.25, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(tt.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := orbit.NewKeplerPropagator(e, false)
+	rt, _ := orbit.NewKeplerPropagator(parsed.Elements(), false)
+	for ts := 0.0; ts <= 6000; ts += 500 {
+		d := src.PositionECI(ts).Distance(rt.PositionECI(ts))
+		// Degrees are quantized to 1e-4 in the file; at LEO radius that is
+		// on the order of 15 m of position, allow a comfortable bound.
+		if d > 500 {
+			t.Fatalf("round-trip propagation diverged %v m at t=%v", d, ts)
+		}
+	}
+}
+
+func TestLinesAreFixedWidth(t *testing.T) {
+	e := orbit.Circular(550e3, geom.Rad(53), geom.Rad(10), geom.Rad(20))
+	tt, err := FromElements("STARLINK-TEST", 44444, 2024, 32.125, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, l2 := tt.Lines()
+	if len(l1) != LineLength {
+		t.Errorf("line 1 length = %d: %q", len(l1), l1)
+	}
+	if len(l2) != LineLength {
+		t.Errorf("line 2 length = %d: %q", len(l2), l2)
+	}
+	if l1[0] != '1' || l2[0] != '2' {
+		t.Errorf("line numbers wrong: %q %q", l1[0], l2[0])
+	}
+	if Checksum(l1) != int(l1[68]-'0') || Checksum(l2) != int(l2[68]-'0') {
+		t.Error("generated checksum invalid")
+	}
+}
+
+func TestFromElementsRejectsBadInput(t *testing.T) {
+	good := orbit.Circular(550e3, 0, 0, 0)
+	if _, err := FromElements("X", 0, 2024, 1, good); err == nil {
+		t.Error("satellite number 0 accepted")
+	}
+	if _, err := FromElements("X", 100000, 2024, 1, good); err == nil {
+		t.Error("satellite number 100000 accepted")
+	}
+	if _, err := FromElements("X", 1, 2024, 0.5, good); err == nil {
+		t.Error("epoch day 0.5 accepted")
+	}
+	bad := good
+	bad.Eccentricity = 2
+	if _, err := FromElements("X", 1, 2024, 1, bad); err == nil {
+		t.Error("invalid elements accepted")
+	}
+}
+
+func TestParseExpField(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{" 00000-0", 0},
+		{" 00000+0", 0},
+		{" 10270-3", 1.0270e-4},
+		{"-11606-4", -1.1606e-5},
+		{" 12345-2", 1.2345e-3},
+	}
+	for _, c := range cases {
+		got, err := parseExpField(c.in)
+		if err != nil {
+			t.Errorf("parseExpField(%q): %v", c.in, err)
+			continue
+		}
+		if math.Abs(got-c.want) > math.Abs(c.want)*1e-9+1e-12 {
+			t.Errorf("parseExpField(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if _, err := parseExpField("garbage"); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestFmtExpRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1.0270e-4, -1.1606e-5, 5e-1, 1.2345e-3} {
+		s := fmtExp(v)
+		if len(s) != 8 {
+			t.Errorf("fmtExp(%v) = %q, want 8 cols", v, s)
+		}
+		back, err := parseExpField(s)
+		if err != nil {
+			t.Errorf("fmtExp(%v) = %q does not parse: %v", v, s, err)
+			continue
+		}
+		if math.Abs(back-v) > math.Abs(v)*1e-4 {
+			t.Errorf("fmtExp round trip: %v -> %q -> %v", v, s, back)
+		}
+	}
+}
+
+func TestParseCatalog(t *testing.T) {
+	e1 := orbit.Circular(550e3, geom.Rad(53), 0, 0)
+	e2 := orbit.Circular(630e3, geom.Rad(51.9), geom.Rad(120), geom.Rad(45))
+	t1, _ := FromElements("SAT-1", 1, 2024, 1.0, e1)
+	t2, _ := FromElements("SAT-2", 2, 2024, 1.0, e2)
+	cat := t1.String() + "\n" + t2.String() + "\n"
+	got, err := ParseCatalog(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d entries, want 2", len(got))
+	}
+	if got[0].Name != "SAT-1" || got[1].Name != "SAT-2" {
+		t.Errorf("names = %q, %q", got[0].Name, got[1].Name)
+	}
+	if got[1].SatelliteNum != 2 {
+		t.Errorf("sat 2 number = %d", got[1].SatelliteNum)
+	}
+}
+
+func TestParseCatalogWithoutNames(t *testing.T) {
+	e := orbit.Circular(550e3, geom.Rad(53), 0, 0)
+	t1, _ := FromElements("", 7, 2024, 1.0, e)
+	t2, _ := FromElements("", 8, 2024, 1.0, e)
+	cat := t1.String() + "\n\n" + t2.String()
+	got, err := ParseCatalog(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].SatelliteNum != 7 || got[1].SatelliteNum != 8 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestParseCatalogEmpty(t *testing.T) {
+	got, err := ParseCatalog("\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %d entries from empty catalog", len(got))
+	}
+}
+
+func TestParseRejectsOutOfRangeFields(t *testing.T) {
+	// Build syntactically valid lines with semantically absurd values and
+	// confirm the range validation rejects them.
+	good, _ := FromElements("X", 1, 2024, 1.0, orbit.Circular(550e3, geom.Rad(53), 0, 0))
+	mutate := func(l2mut func(string) string) string {
+		l1, l2 := good.Lines()
+		l2 = l2mut(l2[:68])
+		l2 += string(rune('0' + Checksum(l2)))
+		return l1 + "\n" + l2
+	}
+	// Mean motion 99.9 would be a sub-surface orbit but passes (0,100);
+	// mean motion 00.0 must fail.
+	zeroMM := mutate(func(l string) string {
+		return l[:52] + " 0.00000000" + l[63:]
+	})
+	if _, err := Parse(zeroMM); err == nil {
+		t.Error("zero mean motion accepted")
+	}
+	// Inclination above 180.
+	bigInc := mutate(func(l string) string {
+		return l[:8] + "200.0000" + l[16:]
+	})
+	if _, err := Parse(bigInc); err == nil {
+		t.Error("inclination 200 accepted")
+	}
+}
+
+func TestValidateRangesDirect(t *testing.T) {
+	good, _ := FromElements("X", 1, 2024, 1.0, orbit.Circular(550e3, geom.Rad(53), 0, 0))
+	cases := []func(*TLE){
+		func(t *TLE) { t.EpochDay = 400 },
+		func(t *TLE) { t.MeanMotionDot = 2 },
+		func(t *TLE) { t.BStar = 5 },
+		func(t *TLE) { t.MeanMotionDDot = -3 },
+		func(t *TLE) { t.RAANDeg = 360 },
+		func(t *TLE) { t.MeanAnomalyDeg = -1 },
+		func(t *TLE) { t.ArgPerigeeDeg = 400 },
+		func(t *TLE) { t.Eccentricity = 1.5 },
+		func(t *TLE) { t.MeanMotion = 0 },
+		func(t *TLE) { t.MeanMotion = 100 },
+	}
+	for i, mut := range cases {
+		bad := good
+		mut(&bad)
+		if err := bad.validateRanges(); err == nil {
+			t.Errorf("case %d: invalid TLE accepted", i)
+		}
+	}
+	if err := good.validateRanges(); err != nil {
+		t.Errorf("valid TLE rejected: %v", err)
+	}
+}
+
+func TestParseCatalogErrors(t *testing.T) {
+	good, _ := FromElements("SAT", 1, 2024, 1.0, orbit.Circular(550e3, geom.Rad(53), 0, 0))
+	l1, l2 := good.Lines()
+	// Two consecutive line-1 entries.
+	if _, err := ParseCatalog(l1 + "\n" + l1 + "\n" + l2); err == nil {
+		t.Error("double line-1 accepted")
+	}
+	// A name line with only one element line following.
+	if _, err := ParseCatalog("NAME\n" + l1 + "\nNAME2\n" + l1 + "\n" + l2); err == nil {
+		t.Error("truncated entry accepted")
+	}
+	// Corrupt checksum inside a catalog.
+	bad := l2[:68] + string(rune('0'+(Checksum(l2)+5)%10))
+	if _, err := ParseCatalog(l1 + "\n" + bad); err == nil {
+		t.Error("corrupt catalog entry accepted")
+	}
+}
+
+func TestTLEStringWithAndWithoutName(t *testing.T) {
+	tt, _ := FromElements("", 2, 2024, 1.0, orbit.Circular(550e3, geom.Rad(53), 0, 0))
+	if strings.Count(tt.String(), "\n") != 1 {
+		t.Errorf("nameless TLE should be 2 lines: %q", tt.String())
+	}
+	tt.Name = "NAMED"
+	if !strings.HasPrefix(tt.String(), "NAMED\n") {
+		t.Errorf("named TLE missing title line")
+	}
+}

@@ -1,0 +1,163 @@
+// Package trace writes per-packet event traces from the simulator — the
+// analog of ns-3's ASCII tracing, and the raw material for post-hoc
+// analyses beyond the metrics the transports log themselves (reordering
+// studies, per-hop latency breakdowns, drop forensics).
+//
+// A Tracer attaches to a Network's transmit/drop/deliver hooks and writes
+// one line per event:
+//
+//	TX t=1.234567890 5->17 pkt=42 flow=1 size=1500 hops=2
+//	RX t=1.256789012 gs=3 pkt=42 flow=1 size=1500 hops=7
+//	DROP t=1.300000000 node=9 pkt=43 flow=1 reason=queue-full
+//
+// Lines are written in event order, which is deterministic.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"hypatia/internal/sim"
+)
+
+// Kind classifies trace events.
+type Kind int
+
+const (
+	// TX is a link transmission (one per hop).
+	TX Kind = iota
+	// RX is a delivery to a transport handler at the destination.
+	RX
+	// DROP is a packet drop.
+	DROP
+)
+
+// String names the event kind.
+func (k Kind) String() string {
+	switch k {
+	case TX:
+		return "TX"
+	case RX:
+		return "RX"
+	case DROP:
+		return "DROP"
+	}
+	return "?"
+}
+
+// Event is one traced packet event.
+type Event struct {
+	Kind   Kind
+	T      sim.Time
+	From   int // TX: transmitting node; DROP: node where dropped; RX: -1
+	To     int // TX: receiving node; RX: destination GS index; DROP: -1
+	Packet *sim.Packet
+	Reason sim.DropReason // DROP only
+}
+
+// Filter selects which events are written; nil accepts everything.
+type Filter func(Event) bool
+
+// FlowFilter keeps only events of the given flow.
+func FlowFilter(flowID uint32) Filter {
+	return func(e Event) bool { return e.Packet.FlowID == flowID }
+}
+
+// KindFilter keeps only events of the given kinds.
+func KindFilter(kinds ...Kind) Filter {
+	want := map[Kind]bool{}
+	for _, k := range kinds {
+		want[k] = true
+	}
+	return func(e Event) bool { return want[e.Kind] }
+}
+
+// And combines filters conjunctively.
+func And(fs ...Filter) Filter {
+	return func(e Event) bool {
+		for _, f := range fs {
+			if f != nil && !f(e) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Tracer writes packet events to an io.Writer.
+type Tracer struct {
+	w      *bufio.Writer
+	net    *sim.Network
+	filter Filter
+	counts [3]uint64
+	err    error
+}
+
+// New creates a tracer writing to w with an optional filter.
+func New(w io.Writer, filter Filter) *Tracer {
+	return &Tracer{w: bufio.NewWriter(w), filter: filter}
+}
+
+// Attach hooks the tracer into the network's transmit, drop, and deliver
+// paths. Only one tracer (or other hook consumer) can be attached at a
+// time; attaching replaces previous hooks.
+func (tr *Tracer) Attach(n *sim.Network) {
+	tr.net = n
+	n.SetTransmitHook(func(ti sim.TransmitInfo) {
+		tr.emit(Event{Kind: TX, T: ti.Start, From: ti.From, To: ti.To, Packet: ti.Packet})
+	})
+	n.SetDropHook(func(node int, pkt *sim.Packet, reason sim.DropReason) {
+		tr.emit(Event{Kind: DROP, T: n.Sim.Now(), From: node, To: -1, Packet: pkt, Reason: reason})
+	})
+	n.SetDeliverHook(func(gs int, pkt *sim.Packet) {
+		tr.emit(Event{Kind: RX, T: n.Sim.Now(), From: -1, To: gs, Packet: pkt})
+	})
+}
+
+// Detach removes the tracer's hooks and flushes buffered output.
+func (tr *Tracer) Detach() error {
+	if tr.net != nil {
+		tr.net.SetTransmitHook(nil)
+		tr.net.SetDropHook(nil)
+		tr.net.SetDeliverHook(nil)
+		tr.net = nil
+	}
+	return tr.Flush()
+}
+
+// Flush writes buffered lines through to the underlying writer.
+func (tr *Tracer) Flush() error {
+	if err := tr.w.Flush(); err != nil && tr.err == nil {
+		tr.err = err
+	}
+	return tr.err
+}
+
+// Err returns the first write error encountered, if any.
+func (tr *Tracer) Err() error { return tr.err }
+
+// Count returns how many events of the kind were written.
+func (tr *Tracer) Count(k Kind) uint64 { return tr.counts[k] }
+
+func (tr *Tracer) emit(e Event) {
+	if tr.filter != nil && !tr.filter(e) {
+		return
+	}
+	tr.counts[e.Kind]++
+	var err error
+	switch e.Kind {
+	case TX:
+		_, err = fmt.Fprintf(tr.w, "TX t=%.9f %d->%d pkt=%d flow=%d size=%d hops=%d\n",
+			e.T.Seconds(), e.From, e.To, e.Packet.ID, e.Packet.FlowID, e.Packet.Size, e.Packet.Hops)
+	case RX:
+		_, err = fmt.Fprintf(tr.w, "RX t=%.9f gs=%d pkt=%d flow=%d size=%d hops=%d\n",
+			e.T.Seconds(), e.To, e.Packet.ID, e.Packet.FlowID, e.Packet.Size, e.Packet.Hops)
+	case DROP:
+		_, err = fmt.Fprintf(tr.w, "DROP t=%.9f node=%d pkt=%d flow=%d reason=%s\n",
+			e.T.Seconds(), e.From, e.Packet.ID, e.Packet.FlowID, e.Reason)
+	}
+	if err != nil && tr.err == nil {
+		tr.err = err
+	}
+}

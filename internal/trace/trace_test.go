@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"hypatia/internal/constellation"
+	"hypatia/internal/geom"
+	"hypatia/internal/groundstation"
+	"hypatia/internal/routing"
+	"hypatia/internal/sim"
+)
+
+func testNet(t *testing.T) (*sim.Simulator, *sim.Network, *routing.Topology) {
+	t.Helper()
+	c, err := constellation.Generate(constellation.Config{
+		Name: "Mini",
+		Shells: []constellation.Shell{{
+			Name: "M1", AltitudeKm: 630, Orbits: 16, SatsPerOrbit: 16, IncDeg: 53,
+		}},
+		MinElevDeg: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gss := []groundstation.GS{
+		{ID: 0, Name: "Istanbul", Position: geom.LLADeg(41.0082, 28.9784, 0)},
+		{ID: 1, Name: "Nairobi", Position: geom.LLADeg(-1.2921, 36.8219, 0)},
+		{ID: 2, Name: "NorthPole", Position: geom.LLADeg(89.5, 0, 0)},
+	}
+	topo, err := routing.NewTopology(c, gss, routing.GSLFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.NewSimulator()
+	n, err := sim.NewNetwork(s, topo, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.InstallForwarding(topo.Snapshot(0).ForwardingTable())
+	return s, n, topo
+}
+
+func TestTracerRecordsTxRxDrop(t *testing.T) {
+	s, n, topo := testNet(t)
+	var buf strings.Builder
+	tr := New(&buf, nil)
+	tr.Attach(n)
+
+	n.RegisterFlow(1, 7, func(*sim.Packet) {})
+	n.Send(0, 1, 7, 1500, nil) // delivered
+	n.Send(0, 2, 7, 1500, nil) // no-route drop (pole)
+	s.Run(sim.Second)
+	if err := tr.Detach(); err != nil {
+		t.Fatal(err)
+	}
+
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	path, _ := topo.Snapshot(0).Path(0, 1)
+	wantTX := uint64(len(path) - 1)
+	if tr.Count(TX) != wantTX {
+		t.Errorf("TX count = %d, want %d", tr.Count(TX), wantTX)
+	}
+	if tr.Count(RX) != 1 || tr.Count(DROP) != 1 {
+		t.Errorf("RX=%d DROP=%d", tr.Count(RX), tr.Count(DROP))
+	}
+	if len(lines) != int(wantTX)+2 {
+		t.Errorf("lines = %d", len(lines))
+	}
+	if !strings.Contains(out, "reason=no-route") {
+		t.Error("drop reason missing")
+	}
+	if !strings.Contains(out, "RX t=") || !strings.Contains(out, "gs=1") {
+		t.Error("RX line malformed")
+	}
+	// Deterministic ordering: the second Send's no-route drop happens
+	// synchronously at t=0, before any transmission completes (TX lines
+	// are emitted at serialization end).
+	if !strings.HasPrefix(lines[0], "DROP t=0.000000000") {
+		t.Errorf("first line = %q", lines[0])
+	}
+}
+
+func TestTracerFilters(t *testing.T) {
+	s, n, _ := testNet(t)
+	var buf strings.Builder
+	tr := New(&buf, And(FlowFilter(2), KindFilter(RX)))
+	tr.Attach(n)
+	n.RegisterFlow(1, 1, func(*sim.Packet) {})
+	n.RegisterFlow(1, 2, func(*sim.Packet) {})
+	n.Send(0, 1, 1, 100, nil)
+	n.Send(0, 1, 2, 100, nil)
+	s.Run(sim.Second)
+	tr.Detach()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if !strings.HasPrefix(lines[0], "RX") || !strings.Contains(lines[0], "flow=2") {
+		t.Errorf("filtered line = %q", lines[0])
+	}
+	if tr.Count(TX) != 0 || tr.Count(RX) != 1 {
+		t.Errorf("counts: TX=%d RX=%d", tr.Count(TX), tr.Count(RX))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if TX.String() != "TX" || RX.String() != "RX" || DROP.String() != "DROP" {
+		t.Error("kind names")
+	}
+	if Kind(99).String() != "?" {
+		t.Error("unknown kind")
+	}
+}
+
+// errWriter fails after a few bytes to exercise error capture.
+type errWriter struct{ left int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.left <= 0 {
+		return 0, errFull
+	}
+	n := len(p)
+	if n > w.left {
+		n = w.left
+	}
+	w.left -= n
+	if n < len(p) {
+		return n, errFull
+	}
+	return n, nil
+}
+
+var errFull = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "disk full" }
+
+func TestTracerSurfacesWriteErrors(t *testing.T) {
+	s, n, _ := testNet(t)
+	tr := New(&errWriter{left: 10}, nil)
+	tr.Attach(n)
+	n.RegisterFlow(1, 1, func(*sim.Packet) {})
+	for i := 0; i < 100; i++ {
+		n.Send(0, 1, 1, 1500, nil)
+	}
+	s.Run(sim.Second)
+	if err := tr.Detach(); err == nil {
+		t.Error("write error not surfaced")
+	}
+}

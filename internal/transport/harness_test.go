@@ -1,0 +1,148 @@
+package transport
+
+import (
+	"testing"
+
+	"hypatia/internal/constellation"
+	"hypatia/internal/geom"
+	"hypatia/internal/groundstation"
+	"hypatia/internal/orbit"
+	"hypatia/internal/routing"
+	"hypatia/internal/sim"
+)
+
+// stepProp is a test propagator pinned to a fixed Earth-relative (ECEF)
+// position, optionally stepping to a second position at a switch time. It
+// lets transport tests control path delay exactly — including mid-flow path
+// length changes, the LEO dynamic behind the paper's reordering and Vegas
+// findings.
+type stepProp struct {
+	before, after geom.Vec3 // ECEF positions
+	switchAt      float64   // seconds; 0 disables the step when after is zero
+}
+
+func (p stepProp) posECEF(t float64) geom.Vec3 {
+	if p.switchAt > 0 && t >= p.switchAt {
+		return p.after
+	}
+	return p.before
+}
+
+// PositionECI converts the pinned ECEF position into the inertial frame the
+// constellation layer expects (it will rotate it right back).
+func (p stepProp) PositionECI(t float64) geom.Vec3 {
+	return geom.ECEFToECI(p.posECEF(t), geom.GMST(0, t))
+}
+
+func (p stepProp) StateECI(t float64) orbit.State {
+	return orbit.State{Position: p.PositionECI(t)}
+}
+
+// satAbove returns the ECEF position of a satellite directly above the
+// given ground point at altitude h.
+func satAbove(latDeg, lonDeg, h float64) geom.Vec3 {
+	return geom.LLADeg(latDeg, lonDeg, h).ToECEF()
+}
+
+// dumbbell is a hand-built two-satellite topology:
+//
+//	GS0 --gsl-- SatA --isl-- SatB --gsl-- GS1
+//
+// GS0 only sees SatA and GS1 only sees SatB (min elevation 25 deg), so the
+// path is pinned and every queue/delay is analytically known. GS2 is an
+// unreachable station for loss scenarios.
+type dumbbell struct {
+	topo *routing.Topology
+	sim  *sim.Simulator
+	net  *sim.Network
+	ids  *FlowIDs
+}
+
+// newDumbbell builds the harness. satBStep optionally moves SatB to a
+// different position at switchAt seconds (pass zero vector and 0 to keep it
+// static).
+func newDumbbell(t *testing.T, cfg sim.Config, satBAfter geom.Vec3, switchAt float64) *dumbbell {
+	t.Helper()
+	// AltitudeKm is set to the top of the range test satellites use so the
+	// visibility pre-filter stays generous.
+	shell := constellation.Shell{
+		Name: "TEST", AltitudeKm: 1800, Orbits: 1, SatsPerOrbit: 2, IncDeg: 53,
+	}
+	c := &constellation.Constellation{
+		Name:    "dumbbell",
+		Shells:  []constellation.Shell{shell},
+		MinElev: geom.Rad(25),
+		Satellites: []constellation.Satellite{
+			{Index: 0, Name: "SatA", Propagator: stepProp{before: satAbove(0, 5, 600e3)}},
+			{Index: 1, Name: "SatB", Propagator: stepProp{
+				before: satAbove(0, 15, 600e3), after: satBAfter, switchAt: switchAt,
+			}},
+		},
+		ISLs: []constellation.ISL{{A: 0, B: 1}},
+	}
+	gss := []groundstation.GS{
+		{ID: 0, Name: "GS0", Position: geom.LLADeg(0, 0, 0)},
+		{ID: 1, Name: "GS1", Position: geom.LLADeg(0, 20, 0)},
+		{ID: 2, Name: "GS2-unreachable", Position: geom.LLADeg(80, 0, 0)},
+	}
+	topo, err := routing.NewTopology(c, gss, routing.GSLFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.NewSimulator()
+	n, err := sim.NewNetwork(s, topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.InstallForwarding(topo.Snapshot(0).ForwardingTable())
+	return &dumbbell{topo: topo, sim: s, net: n, ids: &FlowIDs{}}
+}
+
+// refreshForwardingEvery installs fresh forwarding state at the given
+// period, like the core orchestrator does.
+func (d *dumbbell) refreshForwardingEvery(period sim.Time, until sim.Time) {
+	for at := period; at <= until; at += period {
+		at := at
+		d.sim.ScheduleAt(at, func() {
+			d.net.InstallForwarding(d.topo.Snapshot(at.Seconds()).ForwardingTable())
+		})
+	}
+}
+
+func TestDumbbellPathIsPinned(t *testing.T) {
+	d := newDumbbell(t, sim.DefaultConfig(), geom.Vec3{}, 0)
+	path, dist := d.topo.Snapshot(0).Path(0, 1)
+	// GS0 -> SatA -> SatB -> GS1.
+	want := []int{d.topo.GSNode(0), 0, 1, d.topo.GSNode(1)}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if dist < 1e6 || dist > 5e6 {
+		t.Errorf("path distance = %v km", dist/1000)
+	}
+	// GS2 is unreachable.
+	if p, _ := d.topo.Snapshot(0).Path(0, 2); p != nil {
+		t.Errorf("GS2 should be unreachable, got %v", p)
+	}
+}
+
+func TestDumbbellStaysStableOverMinutes(t *testing.T) {
+	// The pinned-ECEF propagators must keep visibility and path identical
+	// across the whole test horizon.
+	d := newDumbbell(t, sim.DefaultConfig(), geom.Vec3{}, 0)
+	p0, d0 := d.topo.Snapshot(0).Path(0, 1)
+	for _, ts := range []float64{10, 60, 200} {
+		p, dist := d.topo.Snapshot(ts).Path(0, 1)
+		if len(p) != len(p0) {
+			t.Fatalf("path changed at t=%v: %v", ts, p)
+		}
+		if diff := dist - d0; diff > 1 || diff < -1 {
+			t.Fatalf("path length drifted %v m at t=%v", diff, ts)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package transport
+
+import (
+	"hypatia/internal/sim"
+)
+
+// PingConfig parameterizes a ping measurement stream.
+type PingConfig struct {
+	Interval sim.Time // time between echo requests; default 1 ms (paper §4.1)
+	Size     int      // bytes on the wire per echo packet; default 64
+}
+
+func (c PingConfig) withDefaults() PingConfig {
+	if c.Interval == 0 {
+		c.Interval = sim.Millisecond
+	}
+	if c.Size == 0 {
+		c.Size = 64
+	}
+	return c
+}
+
+// pingPayload identifies one echo request/response.
+type pingPayload struct {
+	seq     int64
+	isReply bool
+	sentAt  sim.Time
+}
+
+// PingResult is the outcome of one echo request.
+type PingResult struct {
+	Seq    int64
+	SentAt sim.Time
+	RTT    sim.Time // 0 if no reply arrived before the run ended (paper
+	// plots these trailing unanswered pings as zero)
+	Replied bool
+}
+
+// Pinger sends an echo request every Interval from SrcGS to DstGS and logs
+// response times — the measurement stream behind the paper's RTT-fluctuation
+// figures. Requests that never return (disconnection, loss) remain with
+// Replied = false.
+type Pinger struct {
+	Net    *sim.Network
+	cfg    PingConfig
+	FlowID uint32
+	SrcGS  int
+	DstGS  int
+
+	running bool
+	results []PingResult
+	index   map[int64]int // seq -> index in results
+	next    int64
+}
+
+// NewPinger creates a pinger and registers both endpoints. Call Start.
+func NewPinger(net *sim.Network, ids *FlowIDs, srcGS, dstGS int, cfg PingConfig) *Pinger {
+	p := &Pinger{
+		Net: net, cfg: cfg.withDefaults(), FlowID: ids.Next(),
+		SrcGS: srcGS, DstGS: dstGS, index: map[int64]int{},
+	}
+	net.RegisterFlow(srcGS, p.FlowID, p.onReply)
+	net.RegisterFlow(dstGS, p.FlowID, p.onRequest)
+	return p
+}
+
+// Start begins the periodic echo stream; it runs until Stop or the end of
+// the simulation.
+func (p *Pinger) Start() {
+	if p.running {
+		panic("transport: pinger started twice")
+	}
+	p.running = true
+	p.sendNext()
+}
+
+// Stop halts the request stream.
+func (p *Pinger) Stop() { p.running = false }
+
+func (p *Pinger) sendNext() {
+	if !p.running {
+		return
+	}
+	now := p.Net.Sim.Now()
+	p.index[p.next] = len(p.results)
+	p.results = append(p.results, PingResult{Seq: p.next, SentAt: now})
+	p.Net.Send(p.SrcGS, p.DstGS, p.FlowID, p.cfg.Size,
+		pingPayload{seq: p.next, sentAt: now})
+	p.next++
+	p.Net.Sim.Schedule(p.cfg.Interval, p.sendNext)
+}
+
+// onRequest echoes a request back to the source.
+func (p *Pinger) onRequest(pkt *sim.Packet) {
+	pl := pkt.Payload.(pingPayload)
+	if pl.isReply {
+		return
+	}
+	pl.isReply = true
+	p.Net.Send(p.DstGS, p.SrcGS, p.FlowID, p.cfg.Size, pl)
+}
+
+// onReply records the measured RTT.
+func (p *Pinger) onReply(pkt *sim.Packet) {
+	pl := pkt.Payload.(pingPayload)
+	if !pl.isReply {
+		return
+	}
+	i, ok := p.index[pl.seq]
+	if !ok {
+		return
+	}
+	p.results[i].RTT = p.Net.Sim.Now() - pl.sentAt
+	p.results[i].Replied = true
+}
+
+// Results returns all ping outcomes in sequence order. The slice is owned
+// by the pinger.
+func (p *Pinger) Results() []PingResult { return p.results }
+
+// LossCount returns the number of unanswered pings.
+func (p *Pinger) LossCount() int {
+	lost := 0
+	for _, r := range p.results {
+		if !r.Replied {
+			lost++
+		}
+	}
+	return lost
+}
+
+// RTTSeries converts the replied pings to a Series in seconds.
+func (p *Pinger) RTTSeries() Series {
+	var s Series
+	for _, r := range p.results {
+		if r.Replied {
+			s.Add(r.SentAt, r.RTT.Seconds())
+		}
+	}
+	return s
+}

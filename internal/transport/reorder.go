@@ -1,0 +1,58 @@
+package transport
+
+// ReorderingStats quantifies packet reordering observed at a receiver, in
+// the spirit of RFC 4737's reordered-packet metrics. Reordering matters on
+// LEO paths because a path that suddenly shortens lets later packets
+// overtake earlier ones, which TCP misreads as loss (paper §4.2) — these
+// metrics let experiments report how much reordering a routing policy
+// induces, one of the paper's motivating questions for packet-level
+// simulation ("do some routing schemes cause more packet reordering?").
+type ReorderingStats struct {
+	Total     int64 // packets observed
+	Reordered int64 // packets arriving with a sequence below an earlier one
+	// MaxDisplacement is the largest (in sequence numbers) distance a
+	// reordered packet arrived behind the highest sequence seen before it.
+	MaxDisplacement int64
+	// Events counts maximal runs of consecutive reordered arrivals; one
+	// path change typically produces one event spanning several packets.
+	Events int64
+}
+
+// ReorderedFraction returns Reordered / Total (0 for empty logs).
+func (r ReorderingStats) ReorderedFraction() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Reordered) / float64(r.Total)
+}
+
+// AnalyzeReordering computes reordering statistics from the arrival order
+// of sequence numbers at a receiver (e.g. a TCPFlow's receiver log).
+// Duplicates count as observations but not as reordering.
+func AnalyzeReordering(arrivals []int64) ReorderingStats {
+	var st ReorderingStats
+	maxSeen := int64(-1)
+	inEvent := false
+	seen := map[int64]bool{}
+	for _, seq := range arrivals {
+		st.Total++
+		if seen[seq] {
+			continue
+		}
+		seen[seq] = true
+		if seq < maxSeen {
+			st.Reordered++
+			if d := maxSeen - seq; d > st.MaxDisplacement {
+				st.MaxDisplacement = d
+			}
+			if !inEvent {
+				st.Events++
+				inEvent = true
+			}
+			continue
+		}
+		maxSeen = seq
+		inEvent = false
+	}
+	return st
+}

@@ -1,0 +1,350 @@
+package transport
+
+import (
+	"math"
+	"testing"
+
+	"hypatia/internal/geom"
+	"hypatia/internal/sim"
+)
+
+func TestTCPBulkTransferCompletes(t *testing.T) {
+	d := newDumbbell(t, sim.DefaultConfig(), geom.Vec3{}, 0)
+	f := NewTCPFlow(d.net, d.ids, 0, 1, TCPConfig{MaxSegments: 200})
+	f.Start()
+	d.sim.Run(30 * sim.Second)
+	if !f.Done() {
+		t.Fatalf("flow not done: acked %d/200", f.AckedSegments)
+	}
+	if f.ReceivedSegments() != 200 {
+		t.Errorf("receiver has %d segments", f.ReceivedSegments())
+	}
+	if f.GoodputBps(d.sim.Now()) <= 0 {
+		t.Error("zero goodput")
+	}
+}
+
+func TestTCPSlowStartDoublesPerRTT(t *testing.T) {
+	d := newDumbbell(t, sim.DefaultConfig(), geom.Vec3{}, 0)
+	f := NewTCPFlow(d.net, d.ids, 0, 1, TCPConfig{InitialCwnd: 2, NoDelayedAcks: true})
+	f.Start()
+	// Run long enough for a few RTTs (~25 ms each) but before queue drops.
+	d.sim.Run(200 * sim.Millisecond)
+	if f.FastRetxCount != 0 || f.TimeoutCount != 0 {
+		t.Skip("loss occurred earlier than expected")
+	}
+	// In pure slow start cwnd grows by 1 per ACK: after k acked segments,
+	// cwnd = 2 + k.
+	want := 2 + float64(f.AckedSegments)
+	if math.Abs(f.Cwnd()-want) > 1e-6 {
+		t.Errorf("cwnd = %v, want %v after %d acked", f.Cwnd(), want, f.AckedSegments)
+	}
+}
+
+func TestTCPSaturatesBottleneck(t *testing.T) {
+	d := newDumbbell(t, sim.DefaultConfig(), geom.Vec3{}, 0)
+	f := NewTCPFlow(d.net, d.ids, 0, 1, TCPConfig{})
+	f.Start()
+	dur := 30 * sim.Second
+	d.sim.Run(dur)
+	goodput := f.GoodputBps(dur)
+	// Line rate 10 Mb/s; payload efficiency 1460/1500. The whole-run
+	// average absorbs the slow-start overshoot transient (hundreds of
+	// drops, a timeout, go-back-N), so the bar is looser than steady state.
+	wantMax := 10e6 * 1460 / 1500
+	if goodput < 0.65*wantMax {
+		t.Errorf("goodput = %.2f Mb/s, want >= %.2f", goodput/1e6, 0.65*wantMax/1e6)
+	}
+	if goodput > wantMax*1.01 {
+		t.Errorf("goodput = %.2f Mb/s exceeds line rate", goodput/1e6)
+	}
+	// Steady state (the last 20 s) must be near line rate.
+	var lateBytes float64
+	for _, s := range f.AckedLog.Samples {
+		if s.T >= 10*sim.Second {
+			lateBytes += s.V
+		}
+	}
+	if late := lateBytes * 8 / 20; late < 0.85*wantMax {
+		t.Errorf("steady-state goodput = %.2f Mb/s, want >= %.2f", late/1e6, 0.85*wantMax/1e6)
+	}
+}
+
+func TestTCPFillsQueueAndInflatesRTT(t *testing.T) {
+	// The paper: TCP (NewReno) continually fills and drains the buffer,
+	// raising the per-packet RTT far above the propagation floor.
+	d := newDumbbell(t, sim.DefaultConfig(), geom.Vec3{}, 0)
+	f := NewTCPFlow(d.net, d.ids, 0, 1, TCPConfig{})
+	f.Start()
+	d.sim.Run(30 * sim.Second)
+	minRTT, maxRTT := f.RTTLog.Min(), f.RTTLog.Max()
+	// 100-packet queue at 10 Mb/s drains in 120 ms: near-full buffers must
+	// push max RTT at least 60 ms above the minimum.
+	if maxRTT-minRTT < 0.06 {
+		t.Errorf("RTT inflation only %v s (min %v, max %v)", maxRTT-minRTT, minRTT, maxRTT)
+	}
+	if f.FastRetxCount == 0 {
+		t.Error("NewReno never hit the queue limit in 30 s")
+	}
+}
+
+func TestTCPCwndOscillatesAroundBDPPlusQueue(t *testing.T) {
+	// Expected steady-state: cwnd repeatedly climbs to ~BDP+Q, drops, and
+	// recovers (Fig 4). BDP ~= 17 segments at 10 Mb/s and ~20 ms RTT, queue
+	// 100 packets.
+	d := newDumbbell(t, sim.DefaultConfig(), geom.Vec3{}, 0)
+	f := NewTCPFlow(d.net, d.ids, 0, 1, TCPConfig{})
+	f.Start()
+	d.sim.Run(60 * sim.Second)
+	peak := f.CwndLog.Max()
+	// The sustained ceiling is BDP+Q (~117 segments); transient fast-
+	// recovery inflation can briefly overshoot it.
+	if peak < 80 || peak > 300 {
+		t.Errorf("cwnd peak = %v segments, want around BDP+Q (~117)", peak)
+	}
+	// After the first loss the window halves: the log must contain a drop
+	// of at least 40%.
+	sawCut := false
+	for i := 1; i < f.CwndLog.Len(); i++ {
+		if f.CwndLog.Samples[i].V < 0.6*f.CwndLog.Samples[i-1].V && f.CwndLog.Samples[i-1].V > 20 {
+			sawCut = true
+			break
+		}
+	}
+	if !sawCut {
+		t.Error("no multiplicative decrease observed")
+	}
+}
+
+func TestTCPRecoversFromHeavyLoss(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.QueuePackets = 3 // brutal: almost no buffering
+	d := newDumbbell(t, cfg, geom.Vec3{}, 0)
+	f := NewTCPFlow(d.net, d.ids, 0, 1, TCPConfig{MaxSegments: 300})
+	f.Start()
+	d.sim.Run(120 * sim.Second)
+	if !f.Done() {
+		t.Fatalf("flow starved: %d/300 acked, retx=%d timeouts=%d",
+			f.AckedSegments, f.RetxCount, f.TimeoutCount)
+	}
+	if f.RetxCount == 0 {
+		t.Error("expected retransmissions with a 3-packet queue")
+	}
+}
+
+func TestTCPDelayedAcksHalveAckCount(t *testing.T) {
+	run := func(noDelAck bool) *TCPFlow {
+		d := newDumbbell(t, sim.DefaultConfig(), geom.Vec3{}, 0)
+		f := NewTCPFlow(d.net, d.ids, 0, 1, TCPConfig{MaxSegments: 200, NoDelayedAcks: noDelAck})
+		f.Start()
+		d.sim.Run(30 * sim.Second)
+		if !f.Done() {
+			t.Fatalf("flow incomplete (noDelAck=%v)", noDelAck)
+		}
+		return f
+	}
+	withDel := run(false)
+	without := run(true)
+	if withDel.AcksReceived >= without.AcksReceived {
+		t.Errorf("delayed ACKs did not reduce ACK count: %d vs %d",
+			withDel.AcksReceived, without.AcksReceived)
+	}
+	if float64(withDel.AcksReceived) > 0.75*float64(without.AcksReceived) {
+		t.Errorf("delayed ACKs only reduced ACKs to %d of %d",
+			withDel.AcksReceived, without.AcksReceived)
+	}
+}
+
+func TestTCPReorderingTriggersSpuriousFastRetransmit(t *testing.T) {
+	// Fig 4(c) of the paper: when the path shortens mid-flow, packets sent
+	// later overtake in-flight ones, the receiver emits duplicate ACKs, and
+	// the sender halves its window even though nothing was lost.
+	//
+	// SatB starts high (1600 km) and drops to 600 km at t=5 s, shortening
+	// the one-way path by >1000 km (about 4 ms) instantly.
+	after := satAbove(0, 15, 600e3)
+	d := newDumbbell(t, sim.DefaultConfig(), after, 5)
+	f := NewTCPFlow(d.net, d.ids, 0, 1, TCPConfig{})
+	f.Start()
+	d.sim.Run(10 * sim.Second)
+	if f.FastRetxCount == 0 {
+		t.Fatal("no fast retransmit after path shortened")
+	}
+	if drops := d.net.Drops(sim.DropQueue); drops != 0 {
+		// The cwnd cut must be attributable to reordering alone.
+		t.Skipf("queue drops (%d) occurred; reordering not isolated", drops)
+	}
+	if f.RetxCount == 0 {
+		t.Error("fast retransmit should have retransmitted a segment")
+	}
+}
+
+func TestVegasKeepsQueuesNearlyEmpty(t *testing.T) {
+	// Fig 5: Vegas operates with a near-empty buffer — its steady-state RTT
+	// stays near the propagation floor, unlike NewReno's.
+	run := func(alg CCAlgorithm) *TCPFlow {
+		d := newDumbbell(t, sim.DefaultConfig(), geom.Vec3{}, 0)
+		f := NewTCPFlow(d.net, d.ids, 0, 1, TCPConfig{Algorithm: alg})
+		f.Start()
+		d.sim.Run(30 * sim.Second)
+		return f
+	}
+	vegas := run(Vegas)
+	reno := run(NewReno)
+	vSpread := vegas.RTTLog.Max() - vegas.RTTLog.Min()
+	rSpread := reno.RTTLog.Max() - reno.RTTLog.Min()
+	if vSpread > rSpread/3 {
+		t.Errorf("Vegas RTT spread %v s not well below NewReno's %v s", vSpread, rSpread)
+	}
+	if vegas.GoodputBps(30*sim.Second) < 1e6 {
+		t.Errorf("Vegas goodput collapsed on a static path: %v bps", vegas.GoodputBps(30*sim.Second))
+	}
+}
+
+func TestVegasCollapsesWhenPathLengthens(t *testing.T) {
+	// Fig 5(b,c): a path-change-induced RTT increase looks like congestion
+	// to Vegas; it cuts its window and throughput stays low afterward, even
+	// though the network is empty.
+	after := satAbove(20, 15, 1790e3) // SatB jumps far north+up at t=10 s
+	d := newDumbbell(t, sim.DefaultConfig(), after, 10)
+	f := NewTCPFlow(d.net, d.ids, 0, 1, TCPConfig{Algorithm: Vegas})
+	f.Start()
+	d.sim.Run(40 * sim.Second)
+
+	// Before the step Vegas should have settled at a healthy window; after
+	// it the stale baseRTT makes every RTT look congested and the window
+	// must decay far below its earlier level.
+	preMax := 0.0
+	for _, s := range f.CwndLog.Samples {
+		if s.T < 10*sim.Second && s.V > preMax {
+			preMax = s.V
+		}
+	}
+	if preMax < 5 {
+		t.Fatalf("Vegas never ramped up before the path change (max %v)", preMax)
+	}
+	if final := f.Cwnd(); final > preMax/2 || final > 8 {
+		t.Errorf("Vegas cwnd = %v after path lengthened (pre-change max %v), want collapse", final, preMax)
+	}
+	// Goodput in the last 10 s must be far below the line rate.
+	var lateBytes float64
+	for _, s := range f.AckedLog.Samples {
+		if s.T >= 30*sim.Second {
+			lateBytes += s.V
+		}
+	}
+	lateGoodput := lateBytes * 8 / 10
+	if lateGoodput > 3e6 {
+		t.Errorf("late goodput = %.2f Mb/s, want collapsed (<3)", lateGoodput/1e6)
+	}
+}
+
+func TestNewRenoSurvivesPathLengthening(t *testing.T) {
+	// Contrast to Vegas: loss-based control does not care about the RTT
+	// rise and keeps the pipe full.
+	after := satAbove(20, 15, 1790e3)
+	d := newDumbbell(t, sim.DefaultConfig(), after, 10)
+	f := NewTCPFlow(d.net, d.ids, 0, 1, TCPConfig{Algorithm: NewReno})
+	f.Start()
+	d.sim.Run(40 * sim.Second)
+	var lateBytes float64
+	for _, s := range f.AckedLog.Samples {
+		if s.T >= 30*sim.Second {
+			lateBytes += s.V
+		}
+	}
+	lateGoodput := lateBytes * 8 / 10
+	if lateGoodput < 5e6 {
+		t.Errorf("NewReno late goodput = %.2f Mb/s, want >5", lateGoodput/1e6)
+	}
+}
+
+func TestTCPUnreachableDestinationTimesOutAndRetries(t *testing.T) {
+	d := newDumbbell(t, sim.DefaultConfig(), geom.Vec3{}, 0)
+	f := NewTCPFlow(d.net, d.ids, 0, 2, TCPConfig{MaxSegments: 10}) // GS2 unreachable
+	f.Start()
+	d.sim.Run(20 * sim.Second)
+	if f.AckedSegments != 0 {
+		t.Errorf("acked %d segments to an unreachable GS", f.AckedSegments)
+	}
+	if f.TimeoutCount == 0 {
+		t.Error("no RTO fired for a black-holed flow")
+	}
+	if d.net.Drops(sim.DropNoRoute) == 0 {
+		t.Error("no no-route drops recorded")
+	}
+}
+
+func TestTCPSurvivesSpuriousRTO(t *testing.T) {
+	// Regression: with MinRTO below the path RTT, timeouts fire while ACKs
+	// are still in flight. The go-back-N rewind sets sndNxt = sndUna; when
+	// the late cumulative ACK then lands above sndNxt, flight accounting
+	// must not go negative (which once cancelled the RTO and deadlocked
+	// the flow into sending only stale duplicates).
+	d := newDumbbell(t, sim.DefaultConfig(), geom.Vec3{}, 0)
+	f := NewTCPFlow(d.net, d.ids, 0, 1, TCPConfig{
+		MaxSegments: 500,
+		MinRTO:      20 * sim.Millisecond, // below the ~26 ms path RTT
+	})
+	f.Start()
+	d.sim.Run(60 * sim.Second)
+	if !f.Done() {
+		t.Fatalf("flow deadlocked: %d/500 acked, timeouts=%d", f.AckedSegments, f.TimeoutCount)
+	}
+	if f.TimeoutCount == 0 {
+		t.Error("expected spurious timeouts with MinRTO < RTT")
+	}
+}
+
+func TestTCPStartTwicePanics(t *testing.T) {
+	d := newDumbbell(t, sim.DefaultConfig(), geom.Vec3{}, 0)
+	f := NewTCPFlow(d.net, d.ids, 0, 1, TCPConfig{})
+	f.Start()
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	f.Start()
+}
+
+func TestTCPConfigDefaults(t *testing.T) {
+	cfg := TCPConfig{}.withDefaults()
+	if cfg.MSS != 1460 || cfg.HeaderBytes != 40 || cfg.AckBytes != 40 {
+		t.Errorf("size defaults: %+v", cfg)
+	}
+	if cfg.InitialCwnd != 10 || !math.IsInf(cfg.InitialSSThresh, 1) {
+		t.Errorf("window defaults: %+v", cfg)
+	}
+	if cfg.MinRTO != sim.Second || cfg.MaxRTO != 60*sim.Second {
+		t.Errorf("RTO defaults: %+v", cfg)
+	}
+	if !cfg.DelayedAcks || cfg.DelAckTimeout != 200*sim.Millisecond {
+		t.Errorf("delayed-ACK defaults: %+v", cfg)
+	}
+	if cfg.VegasAlpha != 2 || cfg.VegasBeta != 4 || cfg.VegasGamma != 1 {
+		t.Errorf("vegas defaults: %+v", cfg)
+	}
+	if NewReno.String() != "NewReno" || Vegas.String() != "Vegas" {
+		t.Error("algorithm names")
+	}
+}
+
+func TestTCPRTTMeasurementsMatchPath(t *testing.T) {
+	// Early-flow RTT samples (no queueing yet) must sit near the
+	// propagation RTT of the pinned path.
+	d := newDumbbell(t, sim.DefaultConfig(), geom.Vec3{}, 0)
+	_, dist := d.topo.Snapshot(0).Path(0, 1)
+	propRTT := 2 * dist / geom.SpeedOfLight
+	f := NewTCPFlow(d.net, d.ids, 0, 1, TCPConfig{InitialCwnd: 1, NoDelayedAcks: true})
+	f.Start()
+	d.sim.Run(100 * sim.Millisecond)
+	if f.RTTLog.Len() == 0 {
+		t.Fatal("no RTT samples")
+	}
+	first := f.RTTLog.Samples[0].V
+	// Allow for serialization on each of 3 hops (data) + ACK path.
+	if first < propRTT || first > propRTT+0.01 {
+		t.Errorf("first RTT = %v s, propagation floor %v s", first, propRTT)
+	}
+}

@@ -1,0 +1,274 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"hypatia/internal/constellation"
+	"hypatia/internal/geom"
+	"hypatia/internal/routing"
+)
+
+// mapCanvas projects geodetic coordinates onto an equirectangular SVG
+// canvas: longitude -180..180 maps to x 0..W, latitude 90..-90 to y 0..H.
+type mapCanvas struct {
+	w, h float64
+	b    strings.Builder
+}
+
+func newMapCanvas(w, h int) *mapCanvas {
+	c := &mapCanvas{w: float64(w), h: float64(h)}
+	fmt.Fprintf(&c.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	fmt.Fprintf(&c.b, `<rect width="%d" height="%d" fill="#f7f9fb"/>`+"\n", w, h)
+	return c
+}
+
+func (c *mapCanvas) project(lla geom.LLA) (float64, float64) {
+	x := (geom.Deg(lla.Lon) + 180) / 360 * c.w
+	y := (90 - geom.Deg(lla.Lat)) / 180 * c.h
+	return x, y
+}
+
+// grid draws graticule lines every 30 degrees.
+func (c *mapCanvas) grid() {
+	for lon := -180.0; lon <= 180; lon += 30 {
+		x := (lon + 180) / 360 * c.w
+		fmt.Fprintf(&c.b, `<line x1="%.1f" y1="0" x2="%.1f" y2="%.1f" stroke="#d8dee4" stroke-width="0.5"/>`+"\n", x, x, c.h)
+	}
+	for lat := -90.0; lat <= 90; lat += 30 {
+		y := (90 - lat) / 180 * c.h
+		fmt.Fprintf(&c.b, `<line x1="0" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#d8dee4" stroke-width="0.5"/>`+"\n", y, c.w, y)
+	}
+}
+
+func (c *mapCanvas) dot(lla geom.LLA, r float64, fill string) {
+	x, y := c.project(lla)
+	fmt.Fprintf(&c.b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n", x, y, r, fill)
+}
+
+// segment draws a line between two geodetic points, splitting it at the
+// antimeridian to avoid lines shooting across the whole map.
+func (c *mapCanvas) segment(a, b geom.LLA, width float64, stroke string) {
+	x1, y1 := c.project(a)
+	x2, y2 := c.project(b)
+	if math.Abs(geom.Deg(a.Lon)-geom.Deg(b.Lon)) > 180 {
+		// Crosses the antimeridian: draw two half segments clipped to the
+		// edges instead of one wrap-around line.
+		if x1 < x2 {
+			fmt.Fprintf(&c.b, `<line x1="%.1f" y1="%.1f" x2="0" y2="%.1f" stroke="%s" stroke-width="%.2f"/>`+"\n", x1, y1, (y1+y2)/2, stroke, width)
+			fmt.Fprintf(&c.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.2f"/>`+"\n", c.w, (y1+y2)/2, x2, y2, stroke, width)
+		} else {
+			fmt.Fprintf(&c.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.2f"/>`+"\n", x1, y1, c.w, (y1+y2)/2, stroke, width)
+			fmt.Fprintf(&c.b, `<line x1="0" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.2f"/>`+"\n", (y1+y2)/2, x2, y2, stroke, width)
+		}
+		return
+	}
+	fmt.Fprintf(&c.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.2f"/>`+"\n", x1, y1, x2, y2, stroke, width)
+}
+
+func (c *mapCanvas) text(x, y float64, s string) {
+	fmt.Fprintf(&c.b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="12" fill="#333">%s</text>`+"\n", x, y, s)
+}
+
+func (c *mapCanvas) finish() string {
+	c.b.WriteString("</svg>\n")
+	return c.b.String()
+}
+
+// satLLA converts a satellite's ECEF position at time t to geodetic.
+func satLLA(c *constellation.Constellation, i int, t float64) geom.LLA {
+	return geom.ECEFToLLA(c.PositionECEF(i, t))
+}
+
+// TrajectoryMapOptions controls TrajectoryMapSVG.
+type TrajectoryMapOptions struct {
+	Width, Height int     // default 1024 x 512
+	Time          float64 // snapshot time, seconds
+	// OrbitTrack draws each orbital plane's ground track (the red orbit
+	// curves of Fig 11).
+	OrbitTrack bool
+}
+
+func (o TrajectoryMapOptions) withDefaults() TrajectoryMapOptions {
+	if o.Width == 0 {
+		o.Width = 1024
+	}
+	if o.Height == 0 {
+		o.Height = 512
+	}
+	return o
+}
+
+// TrajectoryMapSVG renders a constellation snapshot on an equirectangular
+// world map: satellites as black dots, optionally with per-orbit ground
+// tracks in red — the layout of Fig 11.
+func TrajectoryMapSVG(c *constellation.Constellation, opt TrajectoryMapOptions) string {
+	opt = opt.withDefaults()
+	canvas := newMapCanvas(opt.Width, opt.Height)
+	canvas.grid()
+	if opt.OrbitTrack {
+		// Approximate each orbit's instantaneous track by connecting the
+		// current positions of its satellites in slot order.
+		for si, sh := range c.Shells {
+			for o := 0; o < sh.Orbits; o++ {
+				var pts []geom.LLA
+				for _, sat := range c.Satellites {
+					if sat.ShellIndex == si && sat.Orbit == o {
+						pts = append(pts, satLLA(c, sat.Index, opt.Time))
+					}
+				}
+				for i := range pts {
+					canvas.segment(pts[i], pts[(i+1)%len(pts)], 0.7, "#cc3333")
+				}
+			}
+		}
+	}
+	for i := range c.Satellites {
+		canvas.dot(satLLA(c, i, opt.Time), 1.6, "#111111")
+	}
+	canvas.text(8, 16, fmt.Sprintf("%s — %d satellites, t=%.0fs", c.Name, c.NumSatellites(), opt.Time))
+	return canvas.finish()
+}
+
+// SkyViewOptions controls GroundObserverSVG.
+type SkyViewOptions struct {
+	Width, Height int     // default 900 x 450
+	Time          float64 // snapshot time
+}
+
+func (o SkyViewOptions) withDefaults() SkyViewOptions {
+	if o.Width == 0 {
+		o.Width = 900
+	}
+	if o.Height == 0 {
+		o.Height = 450
+	}
+	return o
+}
+
+// GroundObserverSVG renders the sky as seen from a ground location
+// (Fig 12): azimuth 0..360 on the x-axis, elevation 0..90 on the y-axis,
+// with the region below the constellation's minimum elevation shaded.
+// Satellites above the horizon are drawn; those above the minimum
+// elevation are highlighted. It returns the SVG and the number of
+// connectable satellites.
+func GroundObserverSVG(c *constellation.Constellation, obs geom.LLA, opt SkyViewOptions) (string, int) {
+	opt = opt.withDefaults()
+	w, h := float64(opt.Width), float64(opt.Height)
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", opt.Width, opt.Height, opt.Width, opt.Height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="#ffffff"/>`+"\n", opt.Width, opt.Height)
+	// Shade below the minimum elevation (bottom band).
+	minElDeg := geom.Deg(c.MinElev)
+	bandTop := h - minElDeg/90*h
+	fmt.Fprintf(&b, `<rect x="0" y="%.1f" width="%.1f" height="%.1f" fill="#e8e8e8"/>`+"\n", bandTop, w, h-bandTop)
+	fmt.Fprintf(&b, `<line x1="0" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#888" stroke-dasharray="4 3"/>`+"\n", bandTop, w, bandTop)
+
+	connectable := 0
+	pos := c.PositionsECEF(opt.Time, nil)
+	for i := range pos {
+		la := geom.Look(obs, pos[i])
+		if la.Elevation < 0 {
+			continue
+		}
+		x := geom.Deg(la.Azimuth) / 360 * w
+		y := h - geom.Deg(la.Elevation)/90*h
+		color := "#999999"
+		r := 3.0
+		if la.Elevation >= c.MinElev {
+			color = "#0066cc"
+			r = 4.5
+			connectable++
+		}
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n", x, y, r, color)
+	}
+	fmt.Fprintf(&b, `<text x="8" y="16" font-family="sans-serif" font-size="12" fill="#333">%s sky view, t=%.0fs, %d connectable (min el %.0f°)</text>`+"\n",
+		c.Name, opt.Time, connectable, minElDeg)
+	b.WriteString("</svg>\n")
+	return b.String(), connectable
+}
+
+// PathMapSVG renders an end-end path snapshot (Figs 13, 16, 17): all
+// satellites as faint dots, the path nodes and links highlighted, and the
+// endpoint ground stations marked.
+func PathMapSVG(topo *routing.Topology, path []int, t float64, width, height int) string {
+	if width == 0 {
+		width = 1024
+	}
+	if height == 0 {
+		height = 512
+	}
+	c := topo.Constellation
+	canvas := newMapCanvas(width, height)
+	canvas.grid()
+	for i := range c.Satellites {
+		canvas.dot(satLLA(c, i, t), 1.2, "#c9ced4")
+	}
+	nodeLLA := func(n int) geom.LLA {
+		if topo.IsGS(n) {
+			return topo.GroundStations[topo.GSIndex(n)].Position
+		}
+		return satLLA(c, n, t)
+	}
+	for i := 0; i+1 < len(path); i++ {
+		canvas.segment(nodeLLA(path[i]), nodeLLA(path[i+1]), 2, "#0066cc")
+	}
+	for _, n := range path {
+		if topo.IsGS(n) {
+			canvas.dot(nodeLLA(n), 5, "#1a9850")
+		} else {
+			canvas.dot(nodeLLA(n), 3, "#111111")
+		}
+	}
+	canvas.text(8, 16, fmt.Sprintf("path snapshot t=%.1fs, %d hops", t, len(path)-1))
+	return canvas.finish()
+}
+
+// LinkLoad is a utilization sample for one directed link.
+type LinkLoad struct {
+	From, To    int
+	Utilization float64 // 0..1
+}
+
+// UtilizationMapSVG renders link utilization (Figs 14, 15): loaded ISLs are
+// drawn with width and color scaled by utilization — thick red for hot
+// links, thin green for cold ones. Links with zero load are omitted, as in
+// the paper.
+func UtilizationMapSVG(topo *routing.Topology, loads []LinkLoad, t float64, width, height int) string {
+	if width == 0 {
+		width = 1024
+	}
+	if height == 0 {
+		height = 512
+	}
+	c := topo.Constellation
+	canvas := newMapCanvas(width, height)
+	canvas.grid()
+	for i := range c.Satellites {
+		canvas.dot(satLLA(c, i, t), 1.2, "#c9ced4")
+	}
+	nodeLLA := func(n int) geom.LLA {
+		if topo.IsGS(n) {
+			return topo.GroundStations[topo.GSIndex(n)].Position
+		}
+		return satLLA(c, n, t)
+	}
+	// Draw colder links first so hot ones stay visible.
+	sorted := make([]LinkLoad, len(loads))
+	copy(sorted, loads)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Utilization < sorted[j].Utilization })
+	for _, l := range sorted {
+		if l.Utilization <= 0 {
+			continue
+		}
+		u := math.Min(l.Utilization, 1)
+		// Green (low) to red (high).
+		r := int(255 * u)
+		g := int(180 * (1 - u))
+		canvas.segment(nodeLLA(l.From), nodeLLA(l.To), 0.8+3.2*u, fmt.Sprintf("rgb(%d,%d,40)", r, g))
+	}
+	canvas.text(8, 16, fmt.Sprintf("link utilization t=%.1fs (%d loaded links)", t, len(loads)))
+	return canvas.finish()
+}
