@@ -306,12 +306,18 @@ func main() {
 
 // writePathStudyTSV writes a Fig 3 study's series as TSV: time, computed
 // RTT, ping RTT.
-func writePathStudyTSV(path string, s *experiments.PathStudy) error {
+func writePathStudyTSV(path string, s *experiments.PathStudy) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// The close error matters on a written file: buffered data is flushed
+	// here, and a full disk would otherwise pass silently.
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	if _, err := fmt.Fprintln(f, "# t_s\tcomputed_rtt_s\tping_rtt_s"); err != nil {
 		return err
 	}

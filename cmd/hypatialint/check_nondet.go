@@ -1,0 +1,106 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// wallClockFuncs are the package-level time functions that read or depend
+// on the wall clock. Any of them inside simulator code breaks determinism:
+// simulated time must come from sim.Simulator.Now and sim scheduling.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// seededRandCtors are the math/rand package-level functions that are safe
+// in simulator code because they only construct explicitly seeded
+// generators rather than drawing from the global, time-seeded source.
+var seededRandCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// checkNondeterminismPkg enforces "no wall clock / nondeterminism in sim
+// code": inside simulator-core packages it flags wall-clock time functions,
+// draws from the global math/rand source, and events scheduled from inside
+// a map-range loop (map iteration order is randomized per run, so the event
+// sequence — and therefore the whole simulation — diverges across runs).
+func checkNondeterminismPkg(p *pkg, cfg config, rep *reporter) {
+	if !inSimScope(p.path, cfg.simScope) {
+		return
+	}
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				obj := p.info.Uses[n.Sel]
+				fn, ok := obj.(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					return true // methods (e.g. on an explicitly seeded *rand.Rand) are fine
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if wallClockFuncs[fn.Name()] {
+						rep.add(n.Pos(), checkNondeterminism,
+							fmt.Sprintf("time.%s reads the wall clock: simulator code must derive all times from sim.Simulator", fn.Name()))
+					}
+				case "math/rand", "math/rand/v2":
+					if !seededRandCtors[fn.Name()] {
+						rep.add(n.Pos(), checkNondeterminism,
+							fmt.Sprintf("rand.%s draws from the global, nondeterministically seeded source: use rand.New(rand.NewSource(seed))", fn.Name()))
+					}
+				}
+			case *ast.RangeStmt:
+				t := p.info.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				ast.Inspect(n.Body, func(m ast.Node) bool {
+					call, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if name, ok := schedulingCall(p.info, call); ok {
+						rep.add(call.Pos(), checkNondeterminism,
+							fmt.Sprintf("%s inside a map-range loop: map iteration order is randomized per process, so the event order diverges across runs; iterate sorted keys instead", name))
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+}
+
+// schedulingCall reports whether call schedules simulator events: a method
+// named Schedule/ScheduleAt on sim.Simulator, or Send on sim.Network (which
+// enqueues a transmission event chain).
+func schedulingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	selection := info.Selections[sel]
+	if selection == nil {
+		return "", false
+	}
+	path, recv, ok := namedType(selection.Recv())
+	if !ok || !strings.HasSuffix(path, "internal/sim") {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if (recv == "Simulator" && (name == "Schedule" || name == "ScheduleAt")) ||
+		(recv == "Network" && name == "Send") {
+		return recv + "." + name, true
+	}
+	return "", false
+}

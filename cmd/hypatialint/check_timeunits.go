@@ -1,0 +1,94 @@
+package main
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// checkTimeUnitsPkg enforces time-unit hygiene around sim.Time, the int64
+// nanosecond timestamp every result in this codebase depends on:
+//
+//   - sim.Time(x) where x is a float truncates sub-nanosecond remainders
+//     toward zero instead of rounding; the sanctioned conversion is
+//     sim.Seconds(x) (or an explicit math.Round at the call site).
+//   - float64(t) / float32(t) on a sim.Time yields raw nanoseconds-as-float,
+//     which every caller so far has meant to be seconds; the sanctioned
+//     conversion is t.Seconds().
+//   - ==/!= between floating-point operands is flagged outside _test.go
+//     files; comparisons against an exact constant zero are allowed (the Go
+//     zero-value sentinel idiom, e.g. `if cfg.RateBps == 0`).
+func checkTimeUnitsPkg(p *pkg, rep *reporter) {
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkConversion(p, n, rep)
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if !isFloat(p.info.TypeOf(n.X)) || !isFloat(p.info.TypeOf(n.Y)) {
+					return true
+				}
+				if isZeroConst(p.info, n.X) || isZeroConst(p.info, n.Y) {
+					return true
+				}
+				rep.add(n.OpPos, checkTimeUnits,
+					"floating-point equality is exact-bit comparison; compare against a tolerance, use math.IsInf/IsNaN, or suppress if an exact tie-break is intended")
+			}
+			return true
+		})
+	}
+}
+
+// checkConversion flags raw conversions between sim.Time and floats.
+func checkConversion(p *pkg, call *ast.CallExpr, rep *reporter) {
+	tv, ok := p.info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	target := tv.Type
+	argType := p.info.TypeOf(call.Args[0])
+	switch {
+	case isSimTime(target) && isFloat(argType):
+		// Allow the sanctioned explicit-rounding form Time(math.Round(...)),
+		// which is how sim.Seconds itself is implemented.
+		if isMathRoundCall(p.info, call.Args[0]) {
+			return
+		}
+		rep.add(call.Pos(), checkTimeUnits,
+			"sim.Time(float) truncates toward zero; convert seconds with sim.Seconds(x), which rounds to the nearest nanosecond")
+	case isFloat(target) && isSimTime(argType):
+		rep.add(call.Pos(), checkTimeUnits,
+			"float(sim.Time) yields raw nanoseconds as a float; use Time.Seconds() to convert with explicit units")
+	}
+}
+
+// isMathRoundCall reports whether e is a call to math.Round.
+func isMathRoundCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "math" && fn.Name() == "Round"
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to zero.
+func isZeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	k := tv.Value.Kind()
+	if k != constant.Int && k != constant.Float {
+		return false
+	}
+	return constant.Sign(tv.Value) == 0
+}

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The check families. Each finding carries one of these names, and each can
+// be suppressed per line with `//lint:ignore <check> <reason>`.
+const (
+	checkNondeterminism = "nondeterminism" // wall clock, unseeded rand, map-order event scheduling
+	checkTimeUnits      = "timeunits"      // raw float<->sim.Time conversions, float equality
+	checkDroppedError   = "droppederror"   // discarded error results
+	checkCopyLock       = "copylock"       // by-value copies of sync primitives / the engine
+	checkDirective      = "directive"      // malformed //lint: comments
+)
+
+// checkDocs is the one-line documentation per check, for -list.
+var checkDocs = [][2]string{
+	{checkNondeterminism, "no wall-clock time, unseeded math/rand, or map-range-ordered event scheduling in simulator-core packages"},
+	{checkTimeUnits, "sim.Time/float conversions must go through sim.Seconds()/Time.Seconds(); no float ==/!= outside tests (zero-sentinel compares allowed)"},
+	{checkDroppedError, "error results must be handled or explicitly discarded with _ ="},
+	{checkCopyLock, "no by-value copies of types containing sync primitives, sim.Simulator, or the event heap"},
+	{checkDirective, "//lint:ignore directives must name a check and give a reason"},
+}
+
+// Finding is one reported lint violation.
+type Finding struct {
+	Pos   token.Position
+	Check string
+	Msg   string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Msg)
+}
+
+// reporter accumulates findings and applies per-line suppressions.
+type reporter struct {
+	fset     *token.FileSet
+	findings []Finding
+	// suppressed maps filename -> line -> set of check names ignored on
+	// that line (an ignore comment covers its own line and the next).
+	suppressed map[string]map[int]map[string]bool
+}
+
+func newReporter(fset *token.FileSet) *reporter {
+	return &reporter{fset: fset, suppressed: map[string]map[int]map[string]bool{}}
+}
+
+// add records a finding at pos unless a matching //lint:ignore covers it.
+func (r *reporter) add(pos token.Pos, check, msg string) {
+	p := r.fset.Position(pos)
+	if lines, ok := r.suppressed[p.Filename]; ok {
+		if checks, ok := lines[p.Line]; ok && (checks[check] || checks["*"]) {
+			return
+		}
+	}
+	r.findings = append(r.findings, Finding{Pos: p, Check: check, Msg: msg})
+}
+
+// sorted returns the findings in file/line/column order.
+func (r *reporter) sorted() []Finding {
+	sort.Slice(r.findings, func(i, j int) bool {
+		a, b := r.findings[i].Pos, r.findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return r.findings
+}
+
+// collectSuppressions scans a file's comments for //lint:ignore directives
+// and registers them with the reporter. A directive written on its own line
+// suppresses the next line; a trailing directive suppresses its own line.
+// Malformed directives (missing check name or reason) are themselves
+// reported under the "directive" check.
+func (r *reporter) collectSuppressions(file *ast.File) {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:")
+			if !ok {
+				continue
+			}
+			pos := r.fset.Position(c.Pos())
+			fields := strings.Fields(text)
+			if len(fields) == 0 || fields[0] != "ignore" {
+				r.findings = append(r.findings, Finding{Pos: pos, Check: checkDirective,
+					Msg: fmt.Sprintf("unknown lint directive %q (only //lint:ignore <check> <reason> is supported)", "lint:"+text)})
+				continue
+			}
+			if len(fields) < 3 {
+				r.findings = append(r.findings, Finding{Pos: pos, Check: checkDirective,
+					Msg: "malformed //lint:ignore: want //lint:ignore <check> <reason>"})
+				continue
+			}
+			check := fields[1]
+			if !knownCheck(check) {
+				r.findings = append(r.findings, Finding{Pos: pos, Check: checkDirective,
+					Msg: fmt.Sprintf("//lint:ignore names unknown check %q", check)})
+				continue
+			}
+			lines := r.suppressed[pos.Filename]
+			if lines == nil {
+				lines = map[int]map[string]bool{}
+				r.suppressed[pos.Filename] = lines
+			}
+			for _, line := range []int{pos.Line, pos.Line + 1} {
+				if lines[line] == nil {
+					lines[line] = map[string]bool{}
+				}
+				lines[line][check] = true
+			}
+		}
+	}
+}
+
+func knownCheck(name string) bool {
+	if name == "*" {
+		return true
+	}
+	for _, d := range checkDocs {
+		if d[0] == name {
+			return true
+		}
+	}
+	return false
+}
+
+// config carries the linter settings.
+type config struct {
+	// simScope lists import-path substrings identifying simulator-core
+	// packages, where the nondeterminism check applies.
+	simScope []string
+}
+
+// lintPackage runs every check family over one loaded package.
+func lintPackage(p *pkg, cfg config, rep *reporter) {
+	for _, f := range p.files {
+		rep.collectSuppressions(f)
+	}
+	checkNondeterminismPkg(p, cfg, rep)
+	checkTimeUnitsPkg(p, rep)
+	checkDroppedErrorPkg(p, rep)
+	checkCopyLockPkg(p, rep)
+}
+
+// inSimScope reports whether the package's import path falls inside the
+// simulator core for the purposes of the nondeterminism check.
+func inSimScope(path string, scope []string) bool {
+	for _, s := range scope {
+		if s != "" && strings.Contains(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- shared type helpers ----
+
+// namedType returns the named type and its qualified (pkgpath, name) if t
+// is (a pointer to) a defined type.
+func namedType(t types.Type) (pkgPath, name string, ok bool) {
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	n, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := n.Obj()
+	if obj == nil {
+		return "", "", false
+	}
+	path := ""
+	if obj.Pkg() != nil {
+		path = obj.Pkg().Path()
+	}
+	return path, obj.Name(), true
+}
+
+// isSimTime reports whether t is the simulator's Time type.
+func isSimTime(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	path, name, ok := namedType(t)
+	return ok && name == "Time" && strings.HasSuffix(path, "internal/sim")
+}
+
+// isFloat reports whether t's underlying type is a floating-point kind.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var fixtureScope = []string{"internal/sim", "internal/transport", "internal/routing"}
+
+// loadExpectations scans the fixture tree for `// want <check>...` comments
+// and returns the expected findings keyed by "file:line".
+func loadExpectations(t *testing.T, root string) map[string][]string {
+	t.Helper()
+	want := map[string][]string{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		abs, err := filepath.Abs(path)
+		if err != nil {
+			return err
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			_, after, ok := strings.Cut(sc.Text(), "// want ")
+			if !ok {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", abs, line)
+			want[key] = append(want[key], strings.Fields(after)...)
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatalf("scanning fixtures: %v", err)
+	}
+	return want
+}
+
+// TestFixtures runs the analyzer over the fixture tree and requires the
+// findings to match the `// want` annotations exactly: every annotated line
+// must be flagged with the named check, and no unannotated line may be
+// flagged. This covers at least one positive and one negative case per
+// check family, plus the //lint:ignore suppression path.
+func TestFixtures(t *testing.T) {
+	findings, err := lint(".", []string{"./testdata/src/..."}, config{simScope: fixtureScope})
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("no findings on fixtures; the fixture tree must exercise every check")
+	}
+
+	got := map[string][]string{}
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		got[key] = append(got[key], f.Check)
+	}
+	want := loadExpectations(t, "testdata/src")
+
+	for key, checks := range want {
+		sort.Strings(checks)
+		g := append([]string(nil), got[key]...)
+		sort.Strings(g)
+		if strings.Join(checks, ",") != strings.Join(g, ",") {
+			t.Errorf("%s: want findings %v, got %v", key, checks, g)
+		}
+	}
+	for key, checks := range got {
+		if _, ok := want[key]; !ok {
+			t.Errorf("%s: unexpected findings %v", key, checks)
+		}
+	}
+
+	// Every check family must appear at least once (positive coverage).
+	families := map[string]bool{}
+	for _, f := range findings {
+		families[f.Check] = true
+	}
+	for _, name := range []string{checkNondeterminism, checkTimeUnits, checkDroppedError, checkCopyLock} {
+		if !families[name] {
+			t.Errorf("check family %q produced no findings on its fixtures", name)
+		}
+	}
+}
+
+// TestRunExitCodes pins the command-line contract: findings exit 1, clean
+// runs exit 0, usage errors exit 2.
+func TestRunExitCodes(t *testing.T) {
+	if code := run([]string{"./testdata/src/..."}); code != 1 {
+		t.Errorf("run on fixtures = %d, want 1", code)
+	}
+	if code := run([]string{"-list"}); code != 0 {
+		t.Errorf("run -list = %d, want 0", code)
+	}
+	if code := run([]string{"-badflag"}); code != 2 {
+		t.Errorf("run with bad flag = %d, want 2", code)
+	}
+	if code := run([]string{"./does/not/exist"}); code != 2 {
+		t.Errorf("run on missing dir = %d, want 2", code)
+	}
+}
+
+// TestMalformedDirective verifies that broken //lint: comments are
+// themselves findings rather than silent no-ops.
+func TestMalformedDirective(t *testing.T) {
+	// The loader resolves packages relative to the enclosing module, so the
+	// scratch fixture must live inside the repo tree rather than t.TempDir.
+	scratch := filepath.Join("testdata", "scratch")
+	if err := os.MkdirAll(scratch, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(scratch)
+	src := `package scratch
+
+//lint:ignore droppederror
+func missingReason() {}
+
+//lint:ignore notacheck because reasons
+func unknownCheck() {}
+
+//lint:frobnicate x y
+func unknownDirective() {}
+`
+	if err := os.WriteFile(filepath.Join(scratch, "scratch.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lint(".", []string{"./" + scratch}, config{simScope: fixtureScope})
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	if len(findings) != 3 {
+		t.Fatalf("findings = %v, want 3 directive findings", findings)
+	}
+	for _, f := range findings {
+		if f.Check != checkDirective {
+			t.Errorf("finding %v: want check %q", f, checkDirective)
+		}
+	}
+}

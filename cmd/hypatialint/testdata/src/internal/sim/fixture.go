@@ -1,0 +1,55 @@
+// Package simfix is a hypatialint fixture. Its directory path contains
+// "internal/sim", so the nondeterminism check treats it as simulator-core
+// code. Lines carrying a "want <check>" trailing comment must be flagged;
+// unmarked lines must not be.
+package simfix
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"hypatia/internal/sim"
+)
+
+// Bad exercises the nondeterminism positives.
+func Bad(s *sim.Simulator, peers map[int]func()) {
+	_ = time.Now()              // want nondeterminism
+	_ = rand.Intn(10)           // want nondeterminism
+	_ = time.Since(time.Time{}) // want nondeterminism
+	for _, fn := range peers {
+		s.Schedule(sim.Second, fn) // want nondeterminism
+	}
+}
+
+// BadScheduleAt flags the other scheduling entry points from a map range.
+func BadScheduleAt(s *sim.Simulator, n *sim.Network, work map[string]int) {
+	for range work {
+		s.ScheduleAt(sim.Second, func() {}) // want nondeterminism
+		n.Send(0, 1, 1, 100, nil)           // want nondeterminism
+	}
+}
+
+// Good exercises the negatives: explicitly seeded rand, scheduling from a
+// slice, and scheduling from sorted map keys.
+func Good(s *sim.Simulator, peers []func(), work map[int]func()) {
+	r := rand.New(rand.NewSource(42))
+	_ = r.Intn(10)
+	for _, fn := range peers {
+		s.Schedule(sim.Second, fn)
+	}
+	keys := make([]int, 0, len(work))
+	for k := range work {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		s.Schedule(sim.Second, work[k])
+	}
+}
+
+// Suppressed exercises the //lint:ignore escape hatch.
+func Suppressed() {
+	//lint:ignore nondeterminism wall-clock profiling of the host, not sim time
+	_ = time.Now()
+}

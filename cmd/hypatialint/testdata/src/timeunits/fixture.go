@@ -1,0 +1,41 @@
+// Package timeunits is a hypatialint fixture for the timeunits check.
+package timeunits
+
+import (
+	"math"
+
+	"hypatia/internal/sim"
+)
+
+// Bad exercises the positives: truncating float-to-Time conversion,
+// unit-dropping Time-to-float conversion, and float equality.
+func Bad(t sim.Time, x, y float64) bool {
+	_ = sim.Time(x) // want timeunits
+	_ = float64(t)  // want timeunits
+	if x == 1.5 {   // want timeunits
+		return true
+	}
+	return x != y // want timeunits
+}
+
+// Good exercises the negatives: the sanctioned conversions, explicit
+// rounding, integer conversions, zero-sentinel comparisons, and ordered
+// float comparisons.
+func Good(t sim.Time, x, y float64, n int) bool {
+	_ = sim.Seconds(x)
+	_ = t.Seconds()
+	_ = sim.Time(math.Round(x * 1e9))
+	_ = sim.Time(n) * sim.Second
+	_ = int64(t)
+	if x == 0 || y != 0.0 {
+		return true
+	}
+	return x < y
+}
+
+// Suppressed exercises the //lint:ignore escape hatch for a deliberate
+// exact comparison.
+func Suppressed(x, y float64) bool {
+	//lint:ignore timeunits exact tie-break intended
+	return x == y
+}

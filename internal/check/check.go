@@ -1,0 +1,32 @@
+// Package check provides build-tag-gated runtime invariant assertions for
+// the simulator core. The paper's results depend on the discrete-event
+// engine being bit-for-bit deterministic; the assertions in this package
+// catch the failure modes that silently destroy that property (a clock that
+// runs backwards, a queue whose occupancy accounting drifts, a congestion
+// window that goes NaN, a forwarding table with out-of-range next hops)
+// at the moment they happen rather than as a mysteriously different trace
+// thousands of events later.
+//
+// Assertions compile to nothing unless the `hypatia_checks` build tag is
+// set. Hot-path call sites must guard every call with the Enabled constant
+// so the disabled build pays neither the call nor the evaluation of the
+// assertion's arguments:
+//
+//	if check.Enabled {
+//		check.Assert(e.at >= s.now, "heap pop went backwards: %v < %v", e.at, s.now)
+//	}
+//
+// With Enabled == false the whole branch is dead code and the compiler
+// removes it. Run the checked build with:
+//
+//	go test -race -tags hypatia_checks ./...
+package check
+
+import "fmt"
+
+// Failf reports an invariant violation unconditionally. It is the slow path
+// of Assert and may also be called directly for violations detected by
+// hand-rolled loops.
+func Failf(format string, args ...any) {
+	panic("hypatia_checks: invariant violated: " + fmt.Sprintf(format, args...))
+}

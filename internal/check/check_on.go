@@ -1,0 +1,15 @@
+//go:build hypatia_checks
+
+package check
+
+// Enabled reports whether runtime invariant checking is compiled in. It is
+// a constant so that `if check.Enabled { ... }` blocks are eliminated
+// entirely from unchecked builds.
+const Enabled = true
+
+// Assert panics with a formatted message when cond is false.
+func Assert(cond bool, format string, args ...any) {
+	if !cond {
+		Failf(format, args...)
+	}
+}

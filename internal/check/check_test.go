@@ -1,0 +1,48 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+
+	"hypatia/internal/check"
+)
+
+// TestAssert passes under both builds: with -tags hypatia_checks a failing
+// assertion must panic; without the tag it must be a no-op.
+func TestAssert(t *testing.T) {
+	defer func() {
+		r := recover()
+		if check.Enabled && r == nil {
+			t.Fatal("Assert(false) did not panic with hypatia_checks enabled")
+		}
+		if !check.Enabled && r != nil {
+			t.Fatalf("Assert(false) panicked without hypatia_checks: %v", r)
+		}
+		if r != nil {
+			msg, ok := r.(string)
+			if !ok || !strings.Contains(msg, "boom 42") {
+				t.Fatalf("panic message = %v, want it to contain %q", r, "boom 42")
+			}
+		}
+	}()
+	check.Assert(false, "boom %d", 42)
+}
+
+// TestAssertTrue must never panic in either build.
+func TestAssertTrue(t *testing.T) {
+	check.Assert(true, "should not fire")
+}
+
+// TestFailf always panics, in both builds: it is the explicit slow path.
+func TestFailf(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Failf did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "invariant violated") {
+			t.Fatalf("panic message = %v", r)
+		}
+	}()
+	check.Failf("always fires: %s", "x")
+}

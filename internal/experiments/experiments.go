@@ -165,7 +165,7 @@ type Report struct {
 }
 
 // Addf appends a formatted line.
-func (r *Report) Addf(format string, args ...interface{}) {
+func (r *Report) Addf(format string, args ...any) {
 	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
 }
 

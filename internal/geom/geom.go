@@ -288,7 +288,7 @@ func MaxSlantRange(h, minEl float64) float64 {
 	// Law of sines in the observer-satellite-geocenter triangle:
 	// the angle at the observer is 90° + minEl.
 	sinGamma := re / rs * math.Sin(math.Pi/2+minEl)
-	gamma := math.Asin(sinGamma)              // angle at the satellite
+	gamma := math.Asin(sinGamma)                  // angle at the satellite
 	beta := math.Pi - (math.Pi/2 + minEl) - gamma // central angle
 	return math.Sqrt(re*re + rs*rs - 2*re*rs*math.Cos(beta))
 }

@@ -235,10 +235,10 @@ func TestLookOverhead(t *testing.T) {
 func TestLookAzimuthCardinal(t *testing.T) {
 	obs := LLADeg(0, 0, 0)
 	cases := []struct {
-		name    string
-		target  LLA
-		wantAz  float64 // degrees
-		azTol   float64
+		name   string
+		target LLA
+		wantAz float64 // degrees
+		azTol  float64
 	}{
 		{"north", LLADeg(5, 0, 550e3), 0, 1},
 		{"east", LLADeg(0, 5, 550e3), 90, 1},

@@ -91,6 +91,7 @@ func newIndexedHeap(n int) *indexedHeap {
 }
 
 func (h *indexedHeap) less(a, b int32) bool {
+	//lint:ignore timeunits exact float tie-break keeps heap ordering deterministic
 	if h.key[a] != h.key[b] {
 		return h.key[a] < h.key[b]
 	}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"hypatia/internal/check"
 	"hypatia/internal/constellation"
 	"hypatia/internal/geom"
 	"hypatia/internal/graph"
@@ -230,6 +231,9 @@ func (s *Snapshot) ForwardingTable() *ForwardingTable {
 	for gs := 0; gs < ng; gs++ {
 		dist, prev = s.FromGS(gs, dist, prev)
 		copy(ft.next[gs*n:(gs+1)*n], prev)
+		if check.Enabled {
+			ft.checkColumn(gs)
+		}
 	}
 	return ft
 }
@@ -251,6 +255,26 @@ func NewEmptyForwardingTable(t float64, numNodes, numGS int) *ForwardingTable {
 // destination. Distinct destinations may be set concurrently.
 func (ft *ForwardingTable) SetDestination(dstGS int, prev []int32) {
 	copy(ft.next[dstGS*ft.NumNodes:(dstGS+1)*ft.NumNodes], prev)
+	if check.Enabled {
+		ft.checkColumn(dstGS)
+	}
+}
+
+// checkColumn validates one destination's next-hop column: every entry must
+// be a node id or -1, and the destination's own node must map to itself
+// (Dijkstra roots its predecessor tree with prev[src] = src). It touches only
+// the column for dstGS, so SetDestination stays safe to call concurrently for
+// distinct destinations.
+func (ft *ForwardingTable) checkColumn(dstGS int) {
+	dstNode := ft.NumNodes - ft.NumGS + dstGS
+	col := ft.next[dstGS*ft.NumNodes : (dstGS+1)*ft.NumNodes]
+	for node, nh := range col {
+		check.Assert(nh >= -1 && int(nh) < ft.NumNodes,
+			"forwarding table t=%v: node %d -> dst gs %d has next hop %d outside [-1, %d)",
+			ft.T, node, dstGS, nh, ft.NumNodes)
+	}
+	check.Assert(col[dstNode] == int32(dstNode),
+		"forwarding table t=%v: destination node %d maps to %d, not itself", ft.T, dstNode, col[dstNode])
 }
 
 // NextHop returns the next-hop node from node toward destination ground

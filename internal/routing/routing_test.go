@@ -399,6 +399,11 @@ func TestPathViaPanicsOnLoop(t *testing.T) {
 	}
 	prev[0] = 1
 	prev[1] = 0
+	// Keep the synthetic column self-consistent at the destination so the
+	// hypatia_checks invariant in SetDestination holds; the loop under test
+	// is between nodes 0 and 1, away from the destination node.
+	dstNode := topo.GSNode(0)
+	prev[dstNode] = int32(dstNode)
 	ft.SetDestination(0, prev)
 	defer func() {
 		if recover() == nil {

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"hypatia/internal/check"
 	"hypatia/internal/geom"
 	"hypatia/internal/routing"
 )
@@ -19,7 +20,7 @@ type Packet struct {
 	Hops   int    // hops traversed so far
 	SentAt Time   // time the packet entered the network at its source
 
-	Payload interface{}
+	Payload any
 }
 
 // Handler consumes packets delivered to a ground station for a flow.
@@ -161,11 +162,11 @@ type Network struct {
 }
 
 type node struct {
-	id     int
-	net    *Network
-	isl    map[int32]*device // keyed by neighbor node id
-	gsl    *device
-	flows  map[uint32]Handler // only populated on ground stations
+	id    int
+	net   *Network
+	isl   map[int32]*device // keyed by neighbor node id
+	gsl   *device
+	flows map[uint32]Handler // only populated on ground stations
 }
 
 // queued is one packet awaiting transmission along with its concrete
@@ -321,7 +322,7 @@ func (n *Network) UnregisterFlow(gs int, flowID uint32) {
 // Send injects a packet at its source ground station. The packet is
 // forwarded per the current forwarding state; the returned packet ID
 // identifies it in traces.
-func (n *Network) Send(srcGS, dstGS int, flowID uint32, size int, payload interface{}) uint64 {
+func (n *Network) Send(srcGS, dstGS int, flowID uint32, size int, payload any) uint64 {
 	n.nextPktID++
 	pkt := &Packet{
 		ID:      n.nextPktID,
@@ -399,6 +400,10 @@ func (n *Network) enqueue(dev *device, pkt *Packet, target int32) {
 	}
 	dev.ring[(dev.head+dev.n)%len(dev.ring)] = queued{pkt: pkt, target: target}
 	dev.n++
+	if check.Enabled {
+		check.Assert(dev.n >= 1 && dev.n <= len(dev.ring),
+			"device %d queue occupancy %d outside [1, %d] after enqueue", dev.node.id, dev.n, len(dev.ring))
+	}
 	if dev.n > dev.maxQueue {
 		dev.maxQueue = dev.n
 	}
@@ -410,6 +415,9 @@ func (n *Network) enqueue(dev *device, pkt *Packet, target int32) {
 // transmitNext serializes the head-of-line packet, schedules its arrival at
 // the target after the propagation delay, and chains the next transmission.
 func (n *Network) transmitNext(dev *device) {
+	if check.Enabled {
+		check.Assert(dev.n > 0, "device %d transmit with empty queue", dev.node.id)
+	}
 	q := dev.ring[dev.head]
 	dev.ring[dev.head] = queued{}
 	dev.head = (dev.head + 1) % len(dev.ring)

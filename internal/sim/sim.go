@@ -15,6 +15,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"hypatia/internal/check"
 )
 
 // Time is a simulation timestamp or duration in nanoseconds.
@@ -33,6 +35,8 @@ const (
 func Seconds(s float64) Time { return Time(math.Round(s * 1e9)) }
 
 // Seconds converts the Time to float64 seconds.
+//
+//lint:ignore timeunits Seconds is the one sanctioned Time-to-float conversion
 func (t Time) Seconds() float64 { return float64(t) / 1e9 }
 
 // String formats the time with millisecond precision.
@@ -55,9 +59,9 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	e := old[n-1]
@@ -120,6 +124,9 @@ func (s *Simulator) Run(until Time) {
 			break
 		}
 		e := heap.Pop(&s.events).(event)
+		if check.Enabled {
+			check.Assert(e.at >= s.now, "event heap popped %v after clock reached %v", e.at, s.now)
+		}
 		s.now = e.at
 		s.processed++
 		e.fn()

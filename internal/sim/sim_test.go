@@ -138,3 +138,79 @@ func TestTimeConversions(t *testing.T) {
 		t.Errorf("String = %q", s)
 	}
 }
+
+// TestSecondsRoundTrip pins the float<->Time bridge: converting a Time to
+// seconds and back must reproduce it exactly for representable magnitudes,
+// since Seconds() divides by 1e9 and Seconds rounds to the nearest
+// nanosecond.
+func TestSecondsRoundTrip(t *testing.T) {
+	for _, tt := range []Time{
+		0, 1, -1, Microsecond, 17 * Millisecond, Second,
+		3*Second + 141592653, -2 * Second, 86400 * Second,
+	} {
+		if got := Seconds(tt.Seconds()); got != tt {
+			t.Errorf("Seconds(%v.Seconds()) = %v, want %v", tt, got, tt)
+		}
+	}
+}
+
+// TestSecondsRoundsHalfAwayFromZero pins the rounding rule at the half-
+// nanosecond boundary (math.Round rounds half away from zero).
+func TestSecondsRoundsHalfAwayFromZero(t *testing.T) {
+	cases := []struct {
+		s    float64
+		want Time
+	}{
+		{0.5e-9, 1},
+		{-0.5e-9, -1},
+		{1.5e-9, 2},
+		{0.49e-9, 0},
+		{-0.49e-9, 0},
+		{2.4e-9, 2},
+	}
+	for _, c := range cases {
+		if got := Seconds(c.s); got != c.want {
+			t.Errorf("Seconds(%g) = %d ns, want %d ns", c.s, int64(got), int64(c.want))
+		}
+	}
+}
+
+// TestTimeStringNegative pins String formatting for negative durations and
+// sub-millisecond truncation behavior of the %.3f format.
+func TestTimeStringNegative(t *testing.T) {
+	if s := (-1500 * Millisecond).String(); s != "-1.500s" {
+		t.Errorf("String = %q, want %q", s, "-1.500s")
+	}
+	if s := (1*Millisecond + 499*Microsecond).String(); s != "0.001s" {
+		t.Errorf("String = %q, want %q", s, "0.001s")
+	}
+}
+
+// TestFIFOTieBreakNested verifies the (at, seq) ordering when a handler
+// schedules more work at the very instant that is currently executing: the
+// nested zero-delay events must run after every event already queued for
+// that timestamp, in the order they were scheduled.
+func TestFIFOTieBreakNested(t *testing.T) {
+	s := NewSimulator()
+	var order []string
+	s.Schedule(Second, func() {
+		order = append(order, "a")
+		s.Schedule(0, func() { order = append(order, "a.nested1") })
+		s.Schedule(0, func() { order = append(order, "a.nested2") })
+	})
+	s.Schedule(Second, func() { order = append(order, "b") })
+	s.Schedule(Second, func() { order = append(order, "c") })
+	s.Run(2 * Second)
+	want := []string{"a", "b", "c", "a.nested1", "a.nested2"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 2*Second {
+		t.Errorf("clock = %v", s.Now())
+	}
+}

@@ -33,12 +33,12 @@ const (
 )
 
 const (
-	bbrHighGain      = 2.885 // 2/ln(2), BBRv1 startup gain
-	bbrCycleLen      = 8
-	bbrBtlBwWindow   = 10               // rounds over which max bandwidth is remembered
-	bbrRTpropWindow  = 10 * sim.Second  // min-RTT memory
-	bbrProbeRTTTime  = 200 * sim.Millisecond
-	bbrMinCwnd       = 4
+	bbrHighGain     = 2.885 // 2/ln(2), BBRv1 startup gain
+	bbrCycleLen     = 8
+	bbrBtlBwWindow  = 10              // rounds over which max bandwidth is remembered
+	bbrRTpropWindow = 10 * sim.Second // min-RTT memory
+	bbrProbeRTTTime = 200 * sim.Millisecond
+	bbrMinCwnd      = 4
 )
 
 // bbrPacingGains is the ProbeBW gain cycle.
@@ -52,10 +52,10 @@ type bbr struct {
 
 	// Bottleneck bandwidth filter: windowed max of delivery-rate samples
 	// (segments/second), per round.
-	btlBw       float64
-	bwSamples   [bbrBtlBwWindow]float64
-	roundCount  int64
-	roundStart  int64 // sndUna that ends the current round
+	btlBw      float64
+	bwSamples  [bbrBtlBwWindow]float64
+	roundCount int64
+	roundStart int64 // sndUna that ends the current round
 
 	// Full-pipe detection (exit Startup).
 	fullBw      float64

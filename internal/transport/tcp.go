@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"hypatia/internal/check"
 	"hypatia/internal/sim"
 )
 
@@ -154,31 +155,31 @@ type TCPFlow struct {
 	DstGS  int
 
 	// Sender state.
-	started  bool
-	cwnd     float64 // congestion window, segments
-	ssthresh float64 // slow-start threshold, segments
-	sndUna   int64   // oldest unacknowledged segment
-	sndNxt   int64   // next segment to send
-	dupAcks  int
+	started    bool
+	cwnd       float64 // congestion window, segments
+	ssthresh   float64 // slow-start threshold, segments
+	sndUna     int64   // oldest unacknowledged segment
+	sndNxt     int64   // next segment to send
+	dupAcks    int
 	inRecovery bool
 	recover    int64 // NewReno: sndNxt at loss detection
 	// partialAckSeen marks that the first partial ACK of the current
 	// recovery already restarted the RTO (RFC 6582 impatient variant).
 	partialAckSeen bool
 
-	sentAt    map[int64]sim.Time // first-transmission time per in-flight segment
-	everRetx  map[int64]bool     // segments ever retransmitted (no RTT sample)
-	rtoGen    uint64             // generation counter for the retransmission timer
-	srtt      float64            // smoothed RTT, seconds (0 until first sample)
-	rttvar    float64
-	rto       sim.Time
-	backoff   int
+	sentAt   map[int64]sim.Time // first-transmission time per in-flight segment
+	everRetx map[int64]bool     // segments ever retransmitted (no RTT sample)
+	rtoGen   uint64             // generation counter for the retransmission timer
+	srtt     float64            // smoothed RTT, seconds (0 until first sample)
+	rttvar   float64
+	rto      sim.Time
+	backoff  int
 
 	// Vegas state.
-	baseRTT    float64 // minimum RTT ever observed, seconds
+	baseRTT     float64 // minimum RTT ever observed, seconds
 	vegasMinRTT float64 // minimum RTT in the current RTT window
-	vegasCnt   int
-	vegasBeg   int64 // segment marking the end of the current RTT window
+	vegasCnt    int
+	vegasBeg    int64 // segment marking the end of the current RTT window
 
 	// BBR model (nil unless Algorithm == BBR).
 	bbr *bbr
@@ -186,25 +187,25 @@ type TCPFlow struct {
 	// SACK scoreboard (sender side): segments above sndUna the receiver
 	// has reported holding, and the hole-repair cursor for the current
 	// recovery.
-	sacked    map[int64]bool
-	sackRetx  map[int64]bool // holes already repaired this recovery
-	highSack  int64          // highest sacked segment + 1
+	sacked   map[int64]bool
+	sackRetx map[int64]bool // holes already repaired this recovery
+	highSack int64          // highest sacked segment + 1
 
 	// Receiver state.
-	rcvNxt     int64
-	ooo        map[int64]bool // out-of-order segments received
-	delAckCnt  int
-	delAckGen  uint64
+	rcvNxt    int64
+	ooo       map[int64]bool // out-of-order segments received
+	delAckCnt int
+	delAckGen uint64
 	// ArrivalLog is the receiver-side arrival order of data segment
 	// sequence numbers (populated only with TrackReordering).
 	ArrivalLog []int64
 
 	// Metrics.
-	CwndLog    Series // congestion window, segments
-	RTTLog     Series // sender-measured per-packet RTT, seconds
-	AckedLog   Series // newly acknowledged payload bytes per ACK (for throughput)
-	RetxCount  int64
-	TimeoutCount int64
+	CwndLog       Series // congestion window, segments
+	RTTLog        Series // sender-measured per-packet RTT, seconds
+	AckedLog      Series // newly acknowledged payload bytes per ACK (for throughput)
+	RetxCount     int64
+	TimeoutCount  int64
 	FastRetxCount int64
 
 	// AckedSegments is the cumulative count of segments acknowledged.
@@ -218,21 +219,21 @@ type TCPFlow struct {
 func NewTCPFlow(net *sim.Network, ids *FlowIDs, srcGS, dstGS int, cfg TCPConfig) *TCPFlow {
 	cfg = cfg.withDefaults()
 	f := &TCPFlow{
-		Net:      net,
-		cfg:      cfg,
-		FlowID:   ids.Next(),
-		SrcGS:    srcGS,
-		DstGS:    dstGS,
-		cwnd:     cfg.InitialCwnd,
-		ssthresh: cfg.InitialSSThresh,
-		rto:      cfg.MinRTO,
-		recover:  -1,
-		sentAt:   map[int64]sim.Time{},
-		everRetx: map[int64]bool{},
-		ooo:      map[int64]bool{},
-		sacked:   map[int64]bool{},
-		sackRetx: map[int64]bool{},
-		baseRTT:  math.Inf(1),
+		Net:         net,
+		cfg:         cfg,
+		FlowID:      ids.Next(),
+		SrcGS:       srcGS,
+		DstGS:       dstGS,
+		cwnd:        cfg.InitialCwnd,
+		ssthresh:    cfg.InitialSSThresh,
+		rto:         cfg.MinRTO,
+		recover:     -1,
+		sentAt:      map[int64]sim.Time{},
+		everRetx:    map[int64]bool{},
+		ooo:         map[int64]bool{},
+		sacked:      map[int64]bool{},
+		sackRetx:    map[int64]bool{},
+		baseRTT:     math.Inf(1),
 		vegasMinRTT: math.Inf(1),
 	}
 	if cfg.Algorithm == BBR {
@@ -280,6 +281,12 @@ func (f *TCPFlow) GoodputBps(elapsed sim.Time) float64 {
 }
 
 func (f *TCPFlow) logCwnd() {
+	if check.Enabled {
+		check.Assert(f.cwnd >= 1 && !math.IsNaN(f.cwnd) && !math.IsInf(f.cwnd, 0),
+			"flow %d cwnd %v outside [1, +finite)", f.FlowID, f.cwnd)
+		check.Assert(f.ssthresh >= 1, "flow %d ssthresh %v below 1 segment", f.FlowID, f.ssthresh)
+		check.Assert(f.sndUna <= f.sndNxt, "flow %d sndUna %d ahead of sndNxt %d", f.FlowID, f.sndUna, f.sndNxt)
+	}
 	f.CwndLog.Add(f.Net.Sim.Now(), f.cwnd)
 }
 

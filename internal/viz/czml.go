@@ -56,9 +56,9 @@ type czmlPacket struct {
 }
 
 type czmlClock struct {
-	Interval   string  `json:"interval"`
-	CurrentTime string `json:"currentTime"`
-	Multiplier float64 `json:"multiplier"`
+	Interval    string  `json:"interval"`
+	CurrentTime string  `json:"currentTime"`
+	Multiplier  float64 `json:"multiplier"`
 }
 
 type czmlPosition struct {

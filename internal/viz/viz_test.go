@@ -49,7 +49,7 @@ func TestConstellationCZMLIsValidJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var doc []map[string]interface{}
+	var doc []map[string]any
 	if err := json.Unmarshal(raw, &doc); err != nil {
 		t.Fatalf("CZML does not parse: %v", err)
 	}
@@ -61,8 +61,8 @@ func TestConstellationCZMLIsValidJSON(t *testing.T) {
 	}
 	// Each satellite packet carries epoch-tagged cartesians: 4 values per
 	// sample, 6 samples for 300/60.
-	pos := doc[1]["position"].(map[string]interface{})
-	cart := pos["cartesian"].([]interface{})
+	pos := doc[1]["position"].(map[string]any)
+	cart := pos["cartesian"].([]any)
 	if len(cart) != 6*4 {
 		t.Errorf("cartesian samples = %d, want 24", len(cart))
 	}
@@ -113,7 +113,7 @@ func TestPathCZML(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var doc []map[string]interface{}
+	var doc []map[string]any
 	if err := json.Unmarshal(raw, &doc); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1.5 verification gate: formatting, vet, project lints, and the race-
+# enabled test suite with runtime invariant checks compiled in. Run from the
+# repository root:
+#
+#   ./scripts/check.sh
+#
+# Exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -s -l . | grep -v '^cmd/hypatialint/testdata/' || true)
+if [[ -n "$unformatted" ]]; then
+    echo "files need gofmt -s -w:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== build (both variants) =="
+go build ./...
+go build -tags hypatia_checks ./...
+
+echo "== hypatialint =="
+go run ./cmd/hypatialint ./...
+
+echo "== hypatialint self-check (fixtures must fail) =="
+if go run ./cmd/hypatialint ./cmd/hypatialint/testdata/src/... >/dev/null; then
+    echo "hypatialint reported the fixture tree clean; the analyzer is broken" >&2
+    exit 1
+fi
+
+echo "== go test -race -tags hypatia_checks =="
+go test -race -tags hypatia_checks ./...
+
+echo "ALL CHECKS PASSED"
