@@ -8,25 +8,28 @@ import (
 // TestFacadeQuickstart exercises the documented quick-start path end to end
 // through the public facade only.
 func TestFacadeQuickstart(t *testing.T) {
+	// Resolve the pair's ground-station indices up front: the run captures
+	// ActiveDstGS at construction time (the forwarding-state pipeline
+	// precomputes tables for future instants from it).
+	cities := Top100Cities()
+	var src, dst int
+	for i, g := range cities {
+		switch g.Name {
+		case "Rio de Janeiro":
+			src = i
+		case "Saint Petersburg":
+			dst = i
+		}
+	}
 	run, err := NewRun(RunConfig{
 		Constellation:  Kuiper(),
-		GroundStations: Top100Cities(),
+		GroundStations: cities,
 		Duration:       Seconds(2),
-		ActiveDstGS:    []int{0, 1},
+		ActiveDstGS:    []int{src, dst},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	src, err := run.GSIndexByName("Rio de Janeiro")
-	if err != nil {
-		t.Fatal(err)
-	}
-	dst, err := run.GSIndexByName("Saint Petersburg")
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Restrict active destinations to the pair actually used.
-	run.Cfg.ActiveDstGS = []int{src, dst}
 	ping := NewPinger(run.Net, run.Flows, src, dst, PingConfig{Interval: 10 * Millisecond})
 	ping.Start()
 	run.Execute()

@@ -350,11 +350,18 @@ func MaxGSLRange(h, minEl float64) float64 {
 // satellite positions at t (from PositionsECEF); pass nil to have them
 // computed.
 func (c *Constellation) VisibleFrom(obs geom.LLA, t float64, positions []geom.Vec3) []int {
+	return c.VisibleFromInto(obs, t, positions, nil)
+}
+
+// VisibleFromInto is VisibleFrom with caller-provided result storage: the
+// indices are appended to out[:0], so a buffer threaded across calls makes
+// repeated visibility scans allocation-free in steady state.
+func (c *Constellation) VisibleFromInto(obs geom.LLA, t float64, positions []geom.Vec3, out []int) []int {
 	if positions == nil {
 		positions = c.PositionsECEF(t, nil)
 	}
 	obsECEF := obs.ToECEF()
-	var out []int
+	out = out[:0]
 	for i, p := range positions {
 		h := p.Norm() - geom.EarthRadius // instantaneous altitude
 		if p.Distance(obsECEF) > MaxGSLRange(h, c.MinElev) {

@@ -74,3 +74,58 @@ func BenchmarkPacketForwardingRate(b *testing.B) {
 		}
 	}
 }
+
+// benchInstants is the shared schedule for the serial-vs-pipelined
+// forwarding-state benchmarks: 8 Kuiper update instants at the paper's
+// 100 ms granularity.
+func benchInstants() []sim.Time {
+	times := make([]sim.Time, 8)
+	for i := range times {
+		times[i] = sim.Time(i) * 100 * sim.Millisecond
+	}
+	return times
+}
+
+func benchKuiperTopo(b *testing.B) *routing.Topology {
+	b.Helper()
+	c, err := constellation.Generate(constellation.Kuiper())
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo, err := routing.NewTopology(c, groundstation.Top100Cities(), routing.GSLFree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return topo
+}
+
+// BenchmarkForwardingStateSerial is the pre-pipeline baseline: for each
+// update instant, build a fresh snapshot and compute the full forwarding
+// table inline, exactly as the event loop used to.
+func BenchmarkForwardingStateSerial(b *testing.B) {
+	topo := benchKuiperTopo(b)
+	times := benchInstants()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, at := range times {
+			_ = topo.Snapshot(at.Seconds()).ForwardingTable()
+		}
+	}
+}
+
+// BenchmarkForwardingStatePipelined runs the same 8 instants through the
+// pipelined engine with pooled arenas (default worker/lookahead config),
+// releasing each table as the run's install events would.
+func BenchmarkForwardingStatePipelined(b *testing.B) {
+	topo := benchKuiperTopo(b)
+	times := benchInstants()
+	cfg := RunConfig{}.withDefaults()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := newPipeline(topo, nil, nil, cfg.Workers, cfg.Lookahead, times)
+		for range times {
+			p.next().Release()
+		}
+		p.close()
+	}
+}

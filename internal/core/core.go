@@ -35,12 +35,20 @@ type RunConfig struct {
 	Net sim.Config
 	// ActiveDstGS optionally restricts forwarding-state computation to the
 	// ground stations that actually receive traffic, which keeps pair
-	// studies cheap. Nil computes state for every ground station.
+	// studies cheap. Nil computes state for every ground station. The set
+	// is captured at NewRun: the pipeline precomputes future instants from
+	// it, so mutating the config after construction has no effect.
 	ActiveDstGS []int
 	// Workers bounds the parallelism of forwarding-state computation;
 	// 0 uses a sensible default. Parallelism does not affect results:
-	// per-destination trees are independent.
+	// per-instant state is a pure function of time and per-destination
+	// trees are independent.
 	Workers int
+	// Lookahead bounds how many update instants the forwarding-state
+	// pipeline may precompute ahead of the simulation clock (each
+	// in-flight instant holds one table arena, so this caps memory);
+	// 0 uses a sensible default of 2×Workers.
+	Lookahead int
 	// Strategy optionally replaces shortest-path routing: it is called at
 	// every forwarding update with the current snapshot, the active
 	// destination set (nil = all), and the worker budget, and returns the
@@ -52,6 +60,14 @@ type RunConfig struct {
 // Strategy computes a forwarding table from a topology snapshot. active
 // lists the destination ground stations that will receive traffic (nil
 // means all); workers bounds internal parallelism.
+//
+// Lifetime contract: the snapshot is owned by the engine and is only valid
+// for the duration of the call — its arenas are reused for later instants.
+// A strategy must not retain s (or s.G, s.Pos) after returning; derived
+// snapshots such as s.WithoutNodes are fresh and safe to keep. A strategy
+// must be a pure function of (s, active): the pipelined engine calls it
+// concurrently for different instants, and determinism of the simulation
+// rests on its output depending only on its inputs.
 type Strategy func(s *routing.Snapshot, active []int, workers int) *routing.ForwardingTable
 
 // ShortestPath is the default routing strategy: per-destination Dijkstra
@@ -88,6 +104,9 @@ func (c RunConfig) withDefaults() RunConfig {
 	if c.Workers == 0 {
 		c.Workers = 8
 	}
+	if c.Lookahead == 0 {
+		c.Lookahead = 2 * c.Workers
+	}
 	return c
 }
 
@@ -99,12 +118,16 @@ type Run struct {
 	Net   *sim.Network
 	Flows *transport.FlowIDs
 
+	pipe             *pipeline
 	updatesInstalled int
 }
 
-// NewRun generates the constellation, builds the network, installs the t=0
-// forwarding state, and schedules periodic forwarding updates across the
-// run's duration.
+// NewRun generates the constellation, builds the network, starts the
+// forwarding-state pipeline, installs the t=0 state, and schedules periodic
+// forwarding updates across the run's duration. Each update event pops the
+// precomputed table for its instant from the pipeline — tables for future
+// instants are computed concurrently with DES execution — and recycles the
+// table it displaces.
 func NewRun(cfg RunConfig) (*Run, error) {
 	cfg = cfg.withDefaults()
 	c, err := constellation.Generate(cfg.Constellation)
@@ -122,31 +145,31 @@ func NewRun(cfg RunConfig) (*Run, error) {
 	}
 	r := &Run{Cfg: cfg, Topo: topo, Sim: s, Net: net, Flows: &transport.FlowIDs{}}
 
-	net.InstallForwarding(r.forwardingAt(0))
+	times := make([]sim.Time, 0, int(cfg.Duration/cfg.UpdateInterval)+1)
+	for at := sim.Time(0); at <= cfg.Duration; at += cfg.UpdateInterval {
+		times = append(times, at)
+	}
+	r.pipe = newPipeline(topo, cfg.Strategy, cfg.ActiveDstGS, cfg.Workers, cfg.Lookahead, times)
+
+	net.InstallForwarding(r.pipe.next())
 	r.updatesInstalled++
-	// Schedule the remaining updates, each recomputing state for its own
-	// instant when the event fires.
-	for at := cfg.UpdateInterval; at <= cfg.Duration; at += cfg.UpdateInterval {
-		at := at
+	for _, at := range times[1:] {
 		s.ScheduleAt(at, func() {
-			net.InstallForwarding(r.forwardingAt(at.Seconds()))
+			// Install the precomputed table for this instant; the displaced
+			// table is never consulted again (next hops are resolved at
+			// enqueue time), so its arena recycles immediately.
+			net.InstallForwarding(r.pipe.next()).Release()
 			r.updatesInstalled++
 		})
 	}
 	return r, nil
 }
 
-// forwardingAt computes the forwarding state for time t via the configured
-// strategy (shortest-path by default), restricted to the active
-// destinations and parallelized across them.
-func (r *Run) forwardingAt(t float64) *routing.ForwardingTable {
-	snap := r.Topo.Snapshot(t)
-	strategy := r.Cfg.Strategy
-	if strategy == nil {
-		strategy = ShortestPath
-	}
-	return strategy(snap, r.Cfg.ActiveDstGS, r.Cfg.Workers)
-}
+// Close shuts down the run's forwarding-state pipeline. It is only needed
+// when a run is abandoned before Execute completes (e.g. after Sim.Stop);
+// a run executed to its full duration drains the pipeline on its own.
+// Idempotent. The run must not be Executed after Close.
+func (r *Run) Close() { r.pipe.close() }
 
 // Execute runs the simulation to completion and returns the virtual
 // duration simulated.

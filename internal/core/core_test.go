@@ -282,6 +282,89 @@ func TestCustomRoutingStrategyAvoidNodes(t *testing.T) {
 	}
 }
 
+func TestAvoidNodesExcludedNeverOnPath(t *testing.T) {
+	// An AvoidNodes table must never route any packet through an excluded
+	// node: walk PathVia from every source toward every destination and
+	// check each hop.
+	cfg := RunConfig{
+		Constellation:  miniConfig(),
+		GroundStations: fourCities(t),
+	}.withDefaults()
+	c, _ := constellation.Generate(cfg.Constellation)
+	topo, _ := routing.NewTopology(c, cfg.GroundStations, routing.GSLFree)
+	snap := topo.Snapshot(7)
+
+	// Exclude the first two satellites on the 0->1 default path, if any.
+	avoid := map[int]bool{}
+	if path, _ := snap.Path(0, 1); len(path) >= 4 {
+		avoid[path[1]] = true
+		avoid[path[2]] = true
+	} else {
+		avoid[0] = true
+		avoid[1] = true
+	}
+	var nodes []int
+	for n := range avoid {
+		nodes = append(nodes, n)
+	}
+	ft := AvoidNodes(ShortestPath, nodes...)(snap, nil, 2)
+
+	walked := 0
+	for src := 0; src < topo.NumNodes(); src++ {
+		for gs := 0; gs < topo.NumGS(); gs++ {
+			path := ft.PathVia(topo, src, gs)
+			if path == nil {
+				continue
+			}
+			walked++
+			// The source itself may be an excluded node (it still appears
+			// as the walk's origin); no later hop may be excluded.
+			for _, v := range path[1:] {
+				if avoid[v] {
+					t.Fatalf("path %d->gs%d traverses excluded node %d: %v", src, gs, v, path)
+				}
+			}
+		}
+	}
+	if walked == 0 {
+		t.Fatal("no reachable pairs left after exclusion; test exercised nothing")
+	}
+	// Excluded nodes themselves must have no outgoing next hops.
+	for n := range avoid {
+		for gs := 0; gs < topo.NumGS(); gs++ {
+			if topo.GSNode(gs) != n && ft.NextHop(n, gs) != -1 {
+				t.Errorf("excluded node %d has next hop toward gs %d", n, gs)
+			}
+		}
+	}
+}
+
+func TestAvoidNodesAllExcludedUnreachable(t *testing.T) {
+	// Excluding every node yields a table where nothing is reachable.
+	cfg := RunConfig{
+		Constellation:  miniConfig(),
+		GroundStations: fourCities(t),
+	}.withDefaults()
+	c, _ := constellation.Generate(cfg.Constellation)
+	topo, _ := routing.NewTopology(c, cfg.GroundStations, routing.GSLFree)
+	snap := topo.Snapshot(0)
+	all := make([]int, topo.NumNodes())
+	for i := range all {
+		all[i] = i
+	}
+	ft := AvoidNodes(ShortestPath, all...)(snap, nil, 2)
+	for node := 0; node < topo.NumNodes(); node++ {
+		for gs := 0; gs < topo.NumGS(); gs++ {
+			if node == topo.GSNode(gs) {
+				continue // a destination trivially "reaches" itself
+			}
+			if nh := ft.NextHop(node, gs); nh != -1 {
+				t.Fatalf("all-excluded graph: node %d still has next hop %d toward gs %d", node, nh, gs)
+			}
+		}
+	}
+}
+
 func TestWithoutNodesPreservesOtherPaths(t *testing.T) {
 	cfg := RunConfig{
 		Constellation:  miniConfig(),

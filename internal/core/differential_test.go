@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hypatia/internal/constellation"
+	"hypatia/internal/routing"
+	"hypatia/internal/sim"
+)
+
+// differentialTopo builds the topology the differential harness runs over.
+func differentialTopo(t *testing.T, policy routing.GSLPolicy) *routing.Topology {
+	t.Helper()
+	c, err := constellation.Generate(miniConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := routing.NewTopology(c, fourCities(t), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// randomInstants draws n distinct randomized update instants, sorted the
+// way a run would schedule them.
+func randomInstants(rng *rand.Rand, n int) []sim.Time {
+	times := make([]sim.Time, n)
+	at := sim.Time(0)
+	for i := range times {
+		at += sim.Time(1+rng.Intn(400)) * 10 * sim.Millisecond
+		times[i] = at
+	}
+	return times
+}
+
+// serialReference computes the forwarding state for one instant the
+// pre-pipeline way: a fresh snapshot plus the serial table computation
+// (Snapshot.ForwardingTable for the full set, a serial
+// PartialForwardingTable for an active subset).
+func serialReference(topo *routing.Topology, at sim.Time, active []int) *routing.ForwardingTable {
+	snap := topo.Snapshot(at.Seconds())
+	if active == nil {
+		return snap.ForwardingTable()
+	}
+	return PartialForwardingTable(snap, active, 1)
+}
+
+// TestDifferentialPipelineMatchesSerial is the differential harness for the
+// pipelined engine: over randomized update instants, both GSL policies, and
+// randomized active-destination subsets (including nil = all), every table
+// the pipeline delivers must be byte-identical to the serial computation.
+func TestDifferentialPipelineMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, policy := range []routing.GSLPolicy{routing.GSLFree, routing.GSLNearestOnly} {
+		topo := differentialTopo(t, policy)
+		for trial := 0; trial < 3; trial++ {
+			times := randomInstants(rng, 8)
+			// Trial 0 computes all destinations; later trials a random
+			// nonempty subset.
+			var active []int
+			if trial > 0 {
+				for gs := 0; gs < topo.NumGS(); gs++ {
+					if rng.Intn(2) == 0 {
+						active = append(active, gs)
+					}
+				}
+				if len(active) == 0 {
+					active = []int{rng.Intn(topo.NumGS())}
+				}
+			}
+			workers := 1 + rng.Intn(4)
+			lookahead := 1 + rng.Intn(6)
+			p := newPipeline(topo, nil, active, workers, lookahead, times)
+			for i, at := range times {
+				got := p.next()
+				want := serialReference(topo, at, active)
+				if !got.Equal(want) {
+					t.Fatalf("policy %v trial %d instant %d (t=%v, workers=%d, lookahead=%d): pipelined table differs from serial",
+						policy, trial, i, at, workers, lookahead)
+				}
+				got.Release()
+			}
+			p.close()
+		}
+	}
+}
+
+// TestDifferentialPipelineCustomStrategy runs the same differential check
+// through the custom-Strategy path: a pipelined AvoidNodes strategy must
+// match calling the strategy directly on a fresh serial snapshot.
+func TestDifferentialPipelineCustomStrategy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	topo := differentialTopo(t, routing.GSLFree)
+	avoid := []int{rng.Intn(topo.NumSats()), rng.Intn(topo.NumSats())}
+	strategy := AvoidNodes(ShortestPath, avoid...)
+	times := randomInstants(rng, 6)
+	active := []int{0, 2}
+	p := newPipeline(topo, strategy, active, 3, 4, times)
+	for i, at := range times {
+		got := p.next()
+		want := strategy(topo.Snapshot(at.Seconds()), active, 1)
+		if !got.Equal(want) {
+			t.Fatalf("instant %d (t=%v): pipelined strategy table differs from direct call", i, at)
+		}
+		got.Release()
+	}
+	p.close()
+}
+
+// TestDifferentialTableReuseAcrossInstants stresses the recycle path the
+// way a run uses it — release table i only after popping table i+1 — and
+// re-verifies each table against the serial reference right before its
+// release, proving the pooled arenas carry no state between instants.
+func TestDifferentialTableReuseAcrossInstants(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	topo := differentialTopo(t, routing.GSLFree)
+	times := randomInstants(rng, 10)
+	p := newPipeline(topo, nil, nil, 2, 2, times)
+	var held *routing.ForwardingTable
+	heldIdx := -1
+	for i, at := range times {
+		_ = at
+		ft := p.next()
+		if held != nil {
+			if !held.Equal(serialReference(topo, times[heldIdx], nil)) {
+				t.Fatalf("table for instant %d mutated while instant %d was being computed", heldIdx, i)
+			}
+			held.Release()
+		}
+		held, heldIdx = ft, i
+	}
+	if !held.Equal(serialReference(topo, times[heldIdx], nil)) {
+		t.Fatalf("final table differs from serial reference")
+	}
+	held.Release()
+	p.close()
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hypatia/internal/routing"
+	"hypatia/internal/sim"
+)
+
+// pipeline is the bounded-lookahead forwarding-state precomputation engine.
+// The run's update instants are known in advance and each instant's
+// (snapshot, forwarding table) pair is a pure function of its time, so a
+// worker pool computes tables for future instants concurrently with DES
+// execution; the install event for instant i then pops a completed table
+// (next) instead of stalling the event loop on a snapshot build plus a
+// per-destination Dijkstra sweep.
+//
+// Overlap cannot change simulation results: tables are delivered strictly
+// in instant order regardless of completion order, each table's content
+// depends only on the topology and its instant (never on DES state or on
+// other workers), and the event loop itself stays single-threaded — the
+// only code that runs concurrently with it is this precomputation of
+// values the serial engine would have computed identically, later.
+//
+// Allocation reuse is layered on top: each worker owns a snapshot arena
+// (position slab, graph edge slabs, visibility scratch — routing.
+// SnapshotInto) and Dijkstra scratch (dist/prev plus the heap workspace),
+// and table buffers come from a shared routing.TablePool. The consumer
+// releases each table back to the pool once the next one is installed, so
+// a steady-state run cycles ~lookahead buffers total.
+type pipeline struct {
+	topo     *routing.Topology
+	strategy Strategy
+	active   []int
+	inner    int // per-instant worker budget handed to a custom Strategy
+	times    []sim.Time
+
+	pool routing.TablePool
+	// tokens is the admission semaphore: it starts with lookahead tokens,
+	// a worker takes one before claiming an instant, and the consumer puts
+	// one back per pop. Claimed-but-unpopped instants therefore never
+	// exceed the lookahead, bounding memory. Taking the token BEFORE
+	// claiming the next instant index keeps token holders identical to the
+	// lowest unclaimed instants, which rules out the deadlock where
+	// buffered high instants starve the low instant the consumer waits on.
+	tokens  chan struct{}
+	results []chan *routing.ForwardingTable
+	nextJob atomic.Int64
+	nextPop int
+	done    chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+}
+
+// newPipeline starts the worker pool over the given update instants.
+// workers bounds total parallelism, lookahead bounds how many instants may
+// be in flight (computing or completed-but-uninstalled) ahead of the DES.
+func newPipeline(topo *routing.Topology, strategy Strategy, active []int, workers, lookahead int, times []sim.Time) *pipeline {
+	if workers < 1 {
+		workers = 1
+	}
+	if lookahead < 1 {
+		lookahead = 1
+	}
+	width := workers
+	if width > lookahead {
+		width = lookahead
+	}
+	if width > len(times) {
+		width = len(times)
+	}
+	p := &pipeline{
+		topo:     topo,
+		strategy: strategy,
+		active:   active,
+		inner:    max(1, workers/max(1, width)),
+		times:    times,
+		tokens:   make(chan struct{}, lookahead),
+		results:  make([]chan *routing.ForwardingTable, len(times)),
+		done:     make(chan struct{}),
+	}
+	for i := range p.results {
+		p.results[i] = make(chan *routing.ForwardingTable, 1)
+	}
+	for i := 0; i < lookahead; i++ {
+		p.tokens <- struct{}{}
+	}
+	for w := 0; w < width; w++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// worker claims instants in order and computes their forwarding state with
+// worker-owned arenas. Every token take is matched by exactly one return —
+// by the consumer when the instant's table is popped, or here when the
+// claim is past the end of the schedule — so the semaphore never exceeds
+// its capacity.
+func (p *pipeline) worker() {
+	defer p.wg.Done()
+	var snap *routing.Snapshot
+	var sc routing.StrategyScratch
+	for {
+		select {
+		case <-p.tokens:
+		case <-p.done:
+			return
+		}
+		i := int(p.nextJob.Add(1)) - 1
+		if i >= len(p.times) {
+			p.tokens <- struct{}{}
+			return
+		}
+		snap = p.topo.SnapshotInto(p.times[i].Seconds(), snap)
+		var ft *routing.ForwardingTable
+		if p.strategy != nil {
+			ft = p.strategy(snap, p.active, p.inner)
+		} else {
+			ft = shortestPathPooled(snap, p.active, &p.pool, &sc)
+		}
+		// Buffered (cap 1) and written exactly once per instant: the send
+		// never blocks.
+		p.results[i] <- ft
+	}
+}
+
+// next returns the forwarding table for the next update instant, in order,
+// blocking until its precomputation completes. It must be called exactly
+// once per instant, from the (single-threaded) event loop.
+func (p *pipeline) next() *routing.ForwardingTable {
+	ft := <-p.results[p.nextPop]
+	p.nextPop++
+	p.tokens <- struct{}{}
+	return ft
+}
+
+// close shuts the worker pool down and waits for it to exit. Only needed
+// when a run is abandoned before all update instants were consumed; a run
+// executed to completion drains the pipeline and the workers exit on their
+// own. Idempotent; must not race with next.
+func (p *pipeline) close() {
+	p.once.Do(func() { close(p.done) })
+	p.wg.Wait()
+}
+
+// shortestPathPooled is the engine's default-path equivalent of the
+// ShortestPath strategy: per-destination Dijkstra trees, computed serially
+// with reused scratch (cross-instant parallelism in the pipeline replaces
+// the per-destination fan-out), into a pooled table. Results are identical
+// to Snapshot.ForwardingTable / PartialForwardingTable.
+func shortestPathPooled(s *routing.Snapshot, active []int, pool *routing.TablePool, sc *routing.StrategyScratch) *routing.ForwardingTable {
+	ft := pool.Empty(s.T, s.Topo.NumNodes(), s.Topo.NumGS())
+	if active == nil {
+		for gs := 0; gs < s.Topo.NumGS(); gs++ {
+			sc.Dist, sc.Prev = s.FromGSScratch(gs, sc.Dist, sc.Prev, &sc.Dijkstra)
+			ft.SetDestination(gs, sc.Prev)
+		}
+		return ft
+	}
+	for _, gs := range active {
+		sc.Dist, sc.Prev = s.FromGSScratch(gs, sc.Dist, sc.Prev, &sc.Dijkstra)
+		ft.SetDestination(gs, sc.Prev)
+	}
+	return ft
+}

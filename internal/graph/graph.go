@@ -36,6 +36,24 @@ func New(n int) *Graph {
 	return &Graph{n: n, adj: make([][]Edge, n)}
 }
 
+// Reset reconfigures the graph in place to n nodes with no edges, retaining
+// the per-node adjacency slabs from previous use. Rebuilding a graph of a
+// similar shape (the forwarding-state engine does so every update instant)
+// then performs no allocations in steady state.
+func (g *Graph) Reset(n int) {
+	if n <= cap(g.adj) {
+		g.adj = g.adj[:n]
+	} else {
+		adj := make([][]Edge, n)
+		copy(adj, g.adj[:cap(g.adj)])
+		g.adj = adj
+	}
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
+	}
+	g.n = n
+}
+
 // N returns the number of nodes.
 func (g *Graph) N() int { return g.n }
 
@@ -78,16 +96,23 @@ type indexedHeap struct {
 	key   []float64 // key[node] = current tentative distance
 }
 
-func newIndexedHeap(n int) *indexedHeap {
-	h := &indexedHeap{
-		nodes: make([]int32, 0, n),
-		pos:   make([]int32, n),
-		key:   make([]float64, n),
+// reset prepares the heap for a graph of n nodes, reusing the backing
+// arrays when they are large enough. A completed Dijkstra run leaves pos
+// all -1 (every pushed node is eventually popped, and pop clears its pos
+// entry), so reuse needs no re-initialization sweep.
+func (h *indexedHeap) reset(n int) {
+	if cap(h.pos) < n {
+		h.nodes = make([]int32, 0, n)
+		h.pos = make([]int32, n)
+		h.key = make([]float64, n)
+		for i := range h.pos {
+			h.pos[i] = -1
+		}
+		return
 	}
-	for i := range h.pos {
-		h.pos[i] = -1
-	}
-	return h
+	h.nodes = h.nodes[:0]
+	h.pos = h.pos[:n]
+	h.key = h.key[:n]
 }
 
 func (h *indexedHeap) less(a, b int32) bool {
@@ -164,6 +189,15 @@ func (h *indexedHeap) pop() int32 {
 
 func (h *indexedHeap) empty() bool { return len(h.nodes) == 0 }
 
+// Scratch holds the reusable internals of a Dijkstra run (the indexed
+// binary heap). The zero value is ready for use; a Scratch must not be
+// shared between concurrent Dijkstra calls. Threading one Scratch through
+// a sweep of many runs (e.g. one per destination ground station) removes
+// the per-run heap allocations.
+type Scratch struct {
+	h indexedHeap
+}
+
 // Dijkstra computes single-source shortest paths from src. It fills dist
 // (length N, Infinity for unreachable) and prev (length N, -1 where
 // undefined; prev[src] = src). Slices are allocated when nil or too short;
@@ -173,6 +207,13 @@ func (h *indexedHeap) empty() bool { return len(h.nodes) == 0 }
 // at extraction time, so repeated runs over an identical graph produce an
 // identical shortest-path tree.
 func (g *Graph) Dijkstra(src int, dist []float64, prev []int32) ([]float64, []int32) {
+	return g.DijkstraScratch(src, dist, prev, &Scratch{})
+}
+
+// DijkstraScratch is Dijkstra with an explicit scratch workspace. Results
+// are identical to Dijkstra for any scratch state: the workspace only
+// recycles allocations, never data.
+func (g *Graph) DijkstraScratch(src int, dist []float64, prev []int32, sc *Scratch) ([]float64, []int32) {
 	if src < 0 || src >= g.n {
 		panic(fmt.Sprintf("graph: source %d out of range", src))
 	}
@@ -188,7 +229,8 @@ func (g *Graph) Dijkstra(src int, dist []float64, prev []int32) ([]float64, []in
 		dist[i] = Infinity
 		prev[i] = -1
 	}
-	h := newIndexedHeap(g.n)
+	h := &sc.h
+	h.reset(g.n)
 	dist[src] = 0
 	prev[src] = int32(src)
 	h.push(int32(src), 0)

@@ -263,7 +263,8 @@ func TestNumEdgesAndNeighbors(t *testing.T) {
 }
 
 func TestIndexedHeapDecreaseKey(t *testing.T) {
-	h := newIndexedHeap(5)
+	h := &indexedHeap{}
+	h.reset(5)
 	h.push(0, 10)
 	h.push(1, 5)
 	h.push(2, 7)
@@ -288,7 +289,8 @@ func TestIndexedHeapOrderingProperty(t *testing.T) {
 	r := rand.New(rand.NewSource(31))
 	for trial := 0; trial < 50; trial++ {
 		n := 50
-		h := newIndexedHeap(n)
+		h := &indexedHeap{}
+		h.reset(n)
 		keys := make([]float64, n)
 		for i := range keys {
 			keys[i] = math.Floor(r.Float64() * 20) // deliberately many ties
@@ -306,5 +308,96 @@ func TestIndexedHeapOrderingProperty(t *testing.T) {
 			}
 			prevKey, prevNode = keys[v], v
 		}
+	}
+}
+
+// TestResetReusesSlabs verifies that Reset yields an empty graph whose
+// rebuilt form behaves identically to a fresh one, across shrink and grow.
+func TestResetReusesSlabs(t *testing.T) {
+	g := line(10)
+	if g.NumEdges() != 9 {
+		t.Fatalf("line(10) edges = %d", g.NumEdges())
+	}
+	for _, n := range []int{10, 4, 16} {
+		g.Reset(n)
+		if g.N() != n || g.NumEdges() != 0 {
+			t.Fatalf("after Reset(%d): n=%d edges=%d", n, g.N(), g.NumEdges())
+		}
+		for v := 0; v < n; v++ {
+			if len(g.Neighbors(v)) != 0 {
+				t.Fatalf("Reset(%d): node %d kept %d edges", n, v, len(g.Neighbors(v)))
+			}
+		}
+		// Rebuild a line and compare against a fresh graph.
+		for i := 0; i < n-1; i++ {
+			g.AddEdge(i, i+1, float64(i+1))
+		}
+		want := New(n)
+		for i := 0; i < n-1; i++ {
+			want.AddEdge(i, i+1, float64(i+1))
+		}
+		gd, gp := g.Dijkstra(0, nil, nil)
+		wd, wp := want.Dijkstra(0, nil, nil)
+		for v := 0; v < n; v++ {
+			if gd[v] != wd[v] || gp[v] != wp[v] {
+				t.Fatalf("Reset(%d) rebuild differs at node %d: (%v,%d) vs (%v,%d)",
+					n, v, gd[v], gp[v], wd[v], wp[v])
+			}
+		}
+	}
+}
+
+// TestResetAllocationFree verifies the steady-state promise: rebuilding the
+// same shape after Reset performs no allocations.
+func TestResetAllocationFree(t *testing.T) {
+	g := line(64)
+	allocs := testing.AllocsPerRun(100, func() {
+		g.Reset(64)
+		for i := 0; i < 63; i++ {
+			g.AddEdge(i, i+1, 1)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Reset+rebuild allocated %v times per run", allocs)
+	}
+}
+
+// TestDijkstraScratchIdentical runs randomized graphs through Dijkstra and
+// DijkstraScratch with a dirty reused scratch, requiring identical output.
+func TestDijkstraScratchIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var sc Scratch
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + r.Intn(60)
+		g := New(n)
+		for e := 0; e < n*2; e++ {
+			a, b := r.Intn(n), r.Intn(n)
+			if a != b {
+				g.AddEdge(a, b, 1+math.Floor(r.Float64()*9))
+			}
+		}
+		src := r.Intn(n)
+		wd, wp := g.Dijkstra(src, nil, nil)
+		gd, gp := g.DijkstraScratch(src, nil, nil, &sc)
+		for v := 0; v < n; v++ {
+			if gd[v] != wd[v] || gp[v] != wp[v] {
+				t.Fatalf("trial %d: scratch Dijkstra differs at %d: (%v,%d) vs (%v,%d)",
+					trial, v, gd[v], gp[v], wd[v], wp[v])
+			}
+		}
+	}
+}
+
+// TestDijkstraScratchSteadyStateAllocs verifies a threaded scratch removes
+// per-run heap allocations.
+func TestDijkstraScratchSteadyStateAllocs(t *testing.T) {
+	g := line(128)
+	var sc Scratch
+	dist, prev := g.DijkstraScratch(0, nil, nil, &sc)
+	allocs := testing.AllocsPerRun(50, func() {
+		dist, prev = g.DijkstraScratch(5, dist, prev, &sc)
+	})
+	if allocs != 0 {
+		t.Errorf("scratch Dijkstra allocated %v times per run", allocs)
 	}
 }

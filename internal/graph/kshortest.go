@@ -99,7 +99,8 @@ func (g *Graph) dijkstraFiltered(src int, banned map[[2]int]bool, excluded map[i
 		dist[i] = Infinity
 		prev[i] = -1
 	}
-	h := newIndexedHeap(g.n)
+	h := &indexedHeap{}
+	h.reset(g.n)
 	dist[src] = 0
 	prev[src] = int32(src)
 	h.push(int32(src), 0)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"hypatia/internal/constellation"
+	"hypatia/internal/graph"
 	"hypatia/internal/groundstation"
 )
 
@@ -58,5 +59,37 @@ func BenchmarkAblationSnapshotGSLNearest(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = topo.Snapshot(float64(i % 200))
+	}
+}
+
+// BenchmarkSnapshotInto measures the arena-reusing snapshot path: after the
+// first iteration, position slabs, graph edge slabs, and visibility scratch
+// are all recycled, so steady-state allocations should be near zero.
+func BenchmarkSnapshotInto(b *testing.B) {
+	topo := benchTopo(b, GSLFree)
+	var s *Snapshot
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s = topo.SnapshotInto(float64(i%200), s)
+	}
+}
+
+// BenchmarkForwardingTablePooled measures the full-table sweep with every
+// reuse layer engaged: pooled table buffers plus shared Dijkstra scratch.
+func BenchmarkForwardingTablePooled(b *testing.B) {
+	topo := benchTopo(b, GSLFree)
+	snap := topo.Snapshot(0)
+	var pool TablePool
+	var dist []float64
+	var prev []int32
+	var sc graph.Scratch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ft := pool.Empty(snap.T, topo.NumNodes(), topo.NumGS())
+		for gs := 0; gs < topo.NumGS(); gs++ {
+			dist, prev = snap.FromGSScratch(gs, dist, prev, &sc)
+			ft.SetDestination(gs, prev)
+		}
+		ft.Release()
 	}
 }

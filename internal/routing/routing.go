@@ -9,6 +9,8 @@ package routing
 import (
 	"fmt"
 	"math"
+	"slices"
+	"sync"
 
 	"hypatia/internal/check"
 	"hypatia/internal/constellation"
@@ -89,6 +91,9 @@ type Snapshot struct {
 	// Pos holds ECEF positions for every node (satellites then ground
 	// stations) at time T.
 	Pos []geom.Vec3
+
+	// vis is the visibility-scan scratch buffer reused by SnapshotInto.
+	vis []int
 }
 
 // NodePositions fills dst (allocating if needed) with the ECEF positions of
@@ -112,18 +117,43 @@ func (t *Topology) NodePositions(tsec float64, dst []geom.Vec3) []geom.Vec3 {
 // attachment policy. Edge weights are distances in meters, so shortest
 // path = lowest propagation latency.
 func (t *Topology) Snapshot(tsec float64) *Snapshot {
+	return t.SnapshotInto(tsec, nil)
+}
+
+// SnapshotInto rebuilds the snapshot for time tsec into s, reusing s's
+// position arena, graph edge slabs, and visibility scratch; pass nil (or a
+// zero Snapshot) to allocate fresh. The returned snapshot is s (allocated
+// if nil) and is byte-identical to Topology.Snapshot(tsec): arena reuse
+// recycles storage, never data. Reusing one snapshot across the engine's
+// update instants eliminates the per-instant allocation storm.
+func (t *Topology) SnapshotInto(tsec float64, s *Snapshot) *Snapshot {
 	nSat := t.NumSats()
 	n := t.NumNodes()
-	pos := make([]geom.Vec3, n)
+	if s == nil {
+		s = &Snapshot{}
+	}
+	s.T = tsec
+	s.Topo = t
+	if cap(s.Pos) < n {
+		s.Pos = make([]geom.Vec3, n)
+	}
+	s.Pos = s.Pos[:n]
+	pos := s.Pos
 	t.Constellation.PositionsECEF(tsec, pos[:nSat])
 	copy(pos[nSat:], t.gsECEF)
 
-	g := graph.New(n)
+	if s.G == nil {
+		s.G = graph.New(n)
+	} else {
+		s.G.Reset(n)
+	}
+	g := s.G
 	for _, isl := range t.Constellation.ISLs {
 		g.AddEdge(isl.A, isl.B, pos[isl.A].Distance(pos[isl.B]))
 	}
 	for gi, gs := range t.GroundStations {
-		vis := t.Constellation.VisibleFrom(gs.Position, tsec, pos[:nSat])
+		s.vis = t.Constellation.VisibleFromInto(gs.Position, tsec, pos[:nSat], s.vis)
+		vis := s.vis
 		if len(vis) == 0 {
 			continue
 		}
@@ -142,7 +172,7 @@ func (t *Topology) Snapshot(tsec float64) *Snapshot {
 			g.AddEdge(gsNode, si, pos[si].Distance(pos[gsNode]))
 		}
 	}
-	return &Snapshot{T: tsec, Topo: t, G: g, Pos: pos}
+	return s
 }
 
 // FromGS runs Dijkstra rooted at ground station gs and returns the distance
@@ -150,6 +180,22 @@ func (t *Topology) Snapshot(tsec float64) *Snapshot {
 // enough.
 func (s *Snapshot) FromGS(gs int, dist []float64, prev []int32) ([]float64, []int32) {
 	return s.G.Dijkstra(s.Topo.GSNode(gs), dist, prev)
+}
+
+// FromGSScratch is FromGS with an explicit Dijkstra workspace, for callers
+// sweeping many destinations back-to-back. Results are identical to FromGS.
+func (s *Snapshot) FromGSScratch(gs int, dist []float64, prev []int32, sc *graph.Scratch) ([]float64, []int32) {
+	return s.G.DijkstraScratch(s.Topo.GSNode(gs), dist, prev, sc)
+}
+
+// StrategyScratch bundles the worker-owned scratch a routing sweep reuses
+// across update instants: the Dijkstra distance/predecessor arrays and the
+// heap workspace. The zero value is ready for use; a StrategyScratch must
+// not be shared between concurrent sweeps.
+type StrategyScratch struct {
+	Dist     []float64
+	Prev     []int32
+	Dijkstra graph.Scratch
 }
 
 // Path returns a shortest path between two ground stations as a node-id
@@ -216,6 +262,11 @@ type ForwardingTable struct {
 	// the destination is unreachable from node. next for the destination's
 	// own node is the node itself.
 	next []int32
+	// pool, when non-nil, is where Release returns the table's buffer.
+	pool *TablePool
+	// released marks a table whose buffer has been recycled; any further
+	// use is a bug that the hypatia_checks build reports.
+	released bool
 }
 
 // ForwardingTable computes the full forwarding state of the snapshot via
@@ -228,8 +279,9 @@ func (s *Snapshot) ForwardingTable() *ForwardingTable {
 	ft := &ForwardingTable{T: s.T, NumNodes: n, NumGS: ng, next: make([]int32, n*ng)}
 	dist := make([]float64, n)
 	prev := make([]int32, n)
+	var sc graph.Scratch
 	for gs := 0; gs < ng; gs++ {
-		dist, prev = s.FromGS(gs, dist, prev)
+		dist, prev = s.FromGSScratch(gs, dist, prev, &sc)
 		copy(ft.next[gs*n:(gs+1)*n], prev)
 		if check.Enabled {
 			ft.checkColumn(gs)
@@ -248,6 +300,76 @@ func NewEmptyForwardingTable(t float64, numNodes, numGS int) *ForwardingTable {
 		ft.next[i] = -1
 	}
 	return ft
+}
+
+// TablePool recycles forwarding-table buffers across update instants. The
+// zero value is ready for use and safe for concurrent Empty/Release calls.
+// The forwarding-state engine allocates each instant's table from a pool
+// and releases it once the next instant's table has been installed, so a
+// steady-state run cycles a handful of buffers instead of allocating
+// NumNodes×NumGS entries 10 times per simulated second.
+type TablePool struct {
+	mu   sync.Mutex
+	free []*ForwardingTable
+}
+
+// Empty returns a table with every entry unreachable (as
+// NewEmptyForwardingTable), drawing the backing buffer from the pool when
+// one large enough is available.
+func (p *TablePool) Empty(t float64, numNodes, numGS int) *ForwardingTable {
+	need := numNodes * numGS
+	var ft *ForwardingTable
+	p.mu.Lock()
+	for i := len(p.free) - 1; i >= 0; i-- {
+		if cap(p.free[i].next) >= need {
+			ft = p.free[i]
+			p.free = append(p.free[:i], p.free[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+	if ft == nil {
+		ft = &ForwardingTable{next: make([]int32, need)}
+	}
+	ft.T, ft.NumNodes, ft.NumGS = t, numNodes, numGS
+	ft.next = ft.next[:need]
+	ft.pool = p
+	ft.released = false
+	for i := range ft.next {
+		ft.next[i] = -1
+	}
+	return ft
+}
+
+// Release marks the table dead and, when it came from a TablePool, returns
+// its buffer for reuse. Safe on nil tables and idempotent; a no-op (beyond
+// the dead mark) for tables allocated outside a pool. Callers must not
+// touch the table afterwards — the hypatia_checks build turns such use into
+// a panic.
+func (ft *ForwardingTable) Release() {
+	if ft == nil || ft.released {
+		return
+	}
+	ft.released = true
+	if ft.pool == nil {
+		return
+	}
+	p := ft.pool
+	p.mu.Lock()
+	p.free = append(p.free, ft)
+	p.mu.Unlock()
+}
+
+// Equal reports whether two tables encode byte-identical forwarding state:
+// same instant, same dimensions, same next-hop entries. It is the identity
+// predicate the differential tests use to compare the pipelined engine
+// against the serial computation.
+func (ft *ForwardingTable) Equal(o *ForwardingTable) bool {
+	//lint:ignore timeunits tables for the same instant must carry the exact same stamp
+	if ft.T != o.T {
+		return false
+	}
+	return ft.NumNodes == o.NumNodes && ft.NumGS == o.NumGS && slices.Equal(ft.next, o.next)
 }
 
 // SetDestination installs the next-hop column for one destination ground
@@ -281,13 +403,20 @@ func (ft *ForwardingTable) checkColumn(dstGS int) {
 // station dstGS, or -1 if unreachable. For the destination node itself it
 // returns the node id.
 func (ft *ForwardingTable) NextHop(node, dstGS int) int32 {
+	if check.Enabled {
+		check.Assert(!ft.released, "forwarding table t=%v consulted after Release", ft.T)
+	}
 	return ft.next[dstGS*ft.NumNodes+node]
 }
 
 // PathVia follows the table from a source node to a destination ground
 // station and returns the node sequence, or nil if the destination is
-// unreachable. It is primarily a debugging and validation aid; packet
-// forwarding in the simulator does the same walk hop by hop.
+// unreachable — including the degenerate case of a table containing a
+// forwarding loop, where the walk can never terminate. Tables produced by
+// the engine are loop-free by construction (Dijkstra predecessor trees);
+// the hypatia_checks build asserts that and panics on a loop instead. It
+// is primarily a debugging and validation aid; packet forwarding in the
+// simulator does the same walk hop by hop.
 func (ft *ForwardingTable) PathVia(topo *Topology, src, dstGS int) []int {
 	dstNode := topo.GSNode(dstGS)
 	path := []int{src}
@@ -299,7 +428,11 @@ func (ft *ForwardingTable) PathVia(topo *Topology, src, dstGS int) []int {
 		v = int(nh)
 		path = append(path, v)
 		if len(path) > ft.NumNodes {
-			panic("routing: forwarding loop")
+			if check.Enabled {
+				check.Failf("forwarding table t=%v: loop walking from node %d toward dst gs %d",
+					ft.T, src, dstGS)
+			}
+			return nil
 		}
 	}
 	return path

@@ -2,8 +2,10 @@ package routing
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
+	"hypatia/internal/check"
 	"hypatia/internal/constellation"
 	"hypatia/internal/geom"
 	"hypatia/internal/graph"
@@ -389,28 +391,47 @@ func TestSnapshotKShortestPaths(t *testing.T) {
 	}
 }
 
-func TestPathViaPanicsOnLoop(t *testing.T) {
-	topo := miniTopo(t, GSLFree)
+// loopingTable hand-builds a table with a two-node forwarding loop toward
+// GS 0: node 0 -> 1 -> 0. The synthetic column stays self-consistent at the
+// destination so the hypatia_checks invariant in SetDestination holds; the
+// loop under test is between nodes 0 and 1, away from the destination node.
+func loopingTable(topo *Topology) *ForwardingTable {
 	ft := NewEmptyForwardingTable(0, topo.NumNodes(), topo.NumGS())
-	// Install a two-node loop toward GS 0: node 0 -> 1 -> 0.
 	prev := make([]int32, topo.NumNodes())
 	for i := range prev {
 		prev[i] = -1
 	}
 	prev[0] = 1
 	prev[1] = 0
-	// Keep the synthetic column self-consistent at the destination so the
-	// hypatia_checks invariant in SetDestination holds; the loop under test
-	// is between nodes 0 and 1, away from the destination node.
 	dstNode := topo.GSNode(0)
 	prev[dstNode] = int32(dstNode)
 	ft.SetDestination(0, prev)
+	return ft
+}
+
+// TestPathViaLoopReturnsUnreachable is the regression test for the old
+// behavior of panicking on a forwarding loop in every build: the walk now
+// reports the destination unreachable (nil), while the hypatia_checks build
+// still asserts loop-freedom and panics.
+func TestPathViaLoopReturnsUnreachable(t *testing.T) {
+	topo := miniTopo(t, GSLFree)
+	ft := loopingTable(topo)
 	defer func() {
-		if recover() == nil {
-			t.Error("no panic on forwarding loop")
+		r := recover()
+		if check.Enabled && r == nil {
+			t.Error("hypatia_checks build did not panic on a forwarding loop")
+		}
+		if !check.Enabled && r != nil {
+			t.Errorf("unchecked build panicked on a forwarding loop: %v", r)
 		}
 	}()
-	ft.PathVia(topo, 0, 0)
+	if path := ft.PathVia(topo, 0, 0); path != nil {
+		t.Errorf("PathVia over a looping table = %v, want nil", path)
+	}
+	// A node outside the loop with a well-formed route is unaffected.
+	if got := ft.PathVia(topo, topo.GSNode(0), 0); len(got) != 1 {
+		t.Errorf("destination self-walk = %v, want single-node path", got)
+	}
 }
 
 func TestForwardingTableTimestamp(t *testing.T) {
@@ -418,5 +439,193 @@ func TestForwardingTableTimestamp(t *testing.T) {
 	ft := topo.Snapshot(7.5).ForwardingTable()
 	if ft.T != 7.5 {
 		t.Errorf("table timestamp = %v", ft.T)
+	}
+}
+
+// TestSnapshotIntoMatchesSnapshot reuses one snapshot arena across many
+// instants and both GSL policies, requiring graphs byte-identical to the
+// allocating path: same positions, same per-node adjacency (order included),
+// same resulting forwarding tables.
+func TestSnapshotIntoMatchesSnapshot(t *testing.T) {
+	for _, policy := range []GSLPolicy{GSLFree, GSLNearestOnly} {
+		topo := miniTopo(t, policy)
+		var reused *Snapshot
+		for _, tsec := range []float64{0, 13.7, 99.9, 142.3, 200} {
+			fresh := topo.Snapshot(tsec)
+			reused = topo.SnapshotInto(tsec, reused)
+			if reused.T != fresh.T || reused.G.N() != fresh.G.N() {
+				t.Fatalf("policy %v t=%v: header differs", policy, tsec)
+			}
+			for i := range fresh.Pos {
+				if reused.Pos[i] != fresh.Pos[i] {
+					t.Fatalf("policy %v t=%v: pos[%d] differs", policy, tsec, i)
+				}
+			}
+			for v := 0; v < fresh.G.N(); v++ {
+				fe, re := fresh.G.Neighbors(v), reused.G.Neighbors(v)
+				if len(fe) != len(re) {
+					t.Fatalf("policy %v t=%v: node %d degree %d vs %d", policy, tsec, v, len(re), len(fe))
+				}
+				for k := range fe {
+					if fe[k] != re[k] {
+						t.Fatalf("policy %v t=%v: node %d edge %d differs: %+v vs %+v",
+							policy, tsec, v, k, re[k], fe[k])
+					}
+				}
+			}
+			if !reused.ForwardingTable().Equal(fresh.ForwardingTable()) {
+				t.Fatalf("policy %v t=%v: forwarding tables differ", policy, tsec)
+			}
+		}
+	}
+}
+
+// TestSnapshotIntoSteadyStateAllocs verifies the arena-reuse promise: after
+// warm-up, rebuilding a snapshot allocates nothing.
+func TestSnapshotIntoSteadyStateAllocs(t *testing.T) {
+	topo := miniTopo(t, GSLFree)
+	snap := topo.SnapshotInto(0, nil)
+	for _, tsec := range []float64{25, 50, 75, 100} { // warm slabs across edge-count variation
+		snap = topo.SnapshotInto(tsec, snap)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(20, func() {
+		i++
+		snap = topo.SnapshotInto(float64(i), snap)
+	})
+	if allocs != 0 {
+		t.Errorf("SnapshotInto allocated %v times per rebuild in steady state", allocs)
+	}
+}
+
+// TestTablePoolRecycling exercises the Empty/Release lifecycle: a released
+// buffer is reused, reused tables start all-unreachable, and Release is
+// idempotent and nil-safe.
+func TestTablePoolRecycling(t *testing.T) {
+	var pool TablePool
+	a := pool.Empty(1, 8, 2)
+	for gs := 0; gs < 2; gs++ {
+		for node := 0; node < 8; node++ {
+			if a.NextHop(node, gs) != -1 {
+				t.Fatalf("fresh pooled table entry (%d,%d) = %d", node, gs, a.NextHop(node, gs))
+			}
+		}
+	}
+	prev := []int32{5, 0, 0, 0, 0, 0, 0, 7} // junk column to dirty the buffer
+	a.SetDestination(1, prev)
+	a.Release()
+	a.Release() // idempotent
+	var nilTable *ForwardingTable
+	nilTable.Release() // nil-safe
+
+	b := pool.Empty(2, 8, 2)
+	if b.T != 2 {
+		t.Errorf("reused table T = %v", b.T)
+	}
+	for gs := 0; gs < 2; gs++ {
+		for node := 0; node < 8; node++ {
+			if b.NextHop(node, gs) != -1 {
+				t.Fatalf("reused table entry (%d,%d) = %d, want -1", node, gs, b.NextHop(node, gs))
+			}
+		}
+	}
+	// A request larger than any pooled buffer allocates fresh.
+	c := pool.Empty(3, 100, 100)
+	if c.NumNodes != 100 || c.NumGS != 100 {
+		t.Errorf("oversize table dims = %d×%d", c.NumNodes, c.NumGS)
+	}
+}
+
+// TestUseAfterReleaseCaught verifies the hypatia_checks build catches reads
+// of a released table.
+func TestUseAfterReleaseCaught(t *testing.T) {
+	if !check.Enabled {
+		t.Skip("requires -tags hypatia_checks")
+	}
+	var pool TablePool
+	ft := pool.Empty(0, 4, 1)
+	ft.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("NextHop on a released table did not panic under hypatia_checks")
+		}
+	}()
+	ft.NextHop(0, 0)
+}
+
+// TestForwardingTableEqual covers the identity predicate used by the
+// differential harness.
+func TestForwardingTableEqual(t *testing.T) {
+	topo := miniTopo(t, GSLFree)
+	snap := topo.Snapshot(5)
+	a := snap.ForwardingTable()
+	b := snap.ForwardingTable()
+	if !a.Equal(b) {
+		t.Fatal("identical computations not Equal")
+	}
+	if !a.Equal(a) {
+		t.Fatal("table not Equal to itself")
+	}
+	c := topo.Snapshot(6).ForwardingTable()
+	if a.Equal(c) {
+		t.Fatal("tables for different instants reported Equal")
+	}
+	d := NewEmptyForwardingTable(a.T, a.NumNodes, a.NumGS)
+	if a.Equal(d) {
+		t.Fatal("all-unreachable table reported Equal to a computed one")
+	}
+}
+
+// TestRandomizedForwardingInvariants checks, for random (src node, dst GS)
+// pairs on random-time snapshots: PathVia terminates; whenever the source
+// has a next hop the walk reaches the destination; and the walked path's
+// geometric length matches the Dijkstra distance (and, for GS sources, the
+// Snapshot.Path distance) within tolerance.
+func TestRandomizedForwardingInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, policy := range []GSLPolicy{GSLFree, GSLNearestOnly} {
+		topo := miniTopo(t, policy)
+		for trial := 0; trial < 6; trial++ {
+			tsec := rng.Float64() * 200
+			snap := topo.Snapshot(tsec)
+			ft := snap.ForwardingTable()
+			var dist []float64
+			var prev []int32
+			for pair := 0; pair < 25; pair++ {
+				src := rng.Intn(topo.NumNodes())
+				dstGS := rng.Intn(topo.NumGS())
+				dist, prev = snap.FromGS(dstGS, dist, prev)
+				path := ft.PathVia(topo, src, dstGS)
+				nh := ft.NextHop(src, dstGS)
+				if nh < 0 {
+					if path != nil {
+						t.Fatalf("policy %v t=%v: src %d has no next hop but PathVia = %v",
+							policy, tsec, src, path)
+					}
+					continue
+				}
+				if path == nil {
+					t.Fatalf("policy %v t=%v: src %d has next hop %d but PathVia = nil",
+						policy, tsec, src, nh)
+				}
+				if last := path[len(path)-1]; last != topo.GSNode(dstGS) {
+					t.Fatalf("policy %v t=%v: walk from %d ended at %d, not dst node %d",
+						policy, tsec, src, last, topo.GSNode(dstGS))
+				}
+				got := snap.PathLength(path)
+				want := dist[src]
+				if math.Abs(got-want) > 1e-6*(1+want) {
+					t.Fatalf("policy %v t=%v: walk length %v vs Dijkstra distance %v",
+						policy, tsec, got, want)
+				}
+				if topo.IsGS(src) {
+					_, d := snap.Path(topo.GSIndex(src), dstGS)
+					if math.Abs(got-d) > 1e-6*(1+d) {
+						t.Fatalf("policy %v t=%v: walk length %v vs Snapshot.Path distance %v",
+							policy, tsec, got, d)
+					}
+				}
+			}
+		}
 	}
 }

@@ -297,11 +297,19 @@ func (n *Network) drop(node int, pkt *Packet, reason DropReason) {
 	}
 }
 
-// InstallForwarding replaces the network-wide forwarding state. In-flight
-// and already-queued packets continue to their previously resolved next
-// hops (the paper's loss-free handoff assumption); only subsequent
-// forwarding decisions use the new state.
-func (n *Network) InstallForwarding(ft *routing.ForwardingTable) { n.ft = ft }
+// InstallForwarding replaces the network-wide forwarding state and returns
+// the table it displaced (nil on the first install). In-flight and
+// already-queued packets continue to their previously resolved next hops
+// (the paper's loss-free handoff assumption); only subsequent forwarding
+// decisions use the new state. Because next hops are resolved at enqueue
+// time and travel with each queued packet, the displaced table is never
+// consulted again — the return value is the engine's recycle point for
+// pooled table arenas (routing.ForwardingTable.Release).
+func (n *Network) InstallForwarding(ft *routing.ForwardingTable) *routing.ForwardingTable {
+	prev := n.ft
+	n.ft = ft
+	return prev
+}
 
 // RegisterFlow attaches a transport handler for flowID at ground station
 // gs. Registering a duplicate flow id on the same station panics: flow ids

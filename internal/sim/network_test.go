@@ -454,3 +454,26 @@ func TestDeviceStats(t *testing.T) {
 		t.Errorf("total transmissions = %d, want %d", totalTx, 10*(len(path)-1))
 	}
 }
+
+// TestInstallForwardingReturnsDisplacedTable verifies the recycle-point
+// contract: the first install displaces nothing, and each subsequent
+// install hands back exactly the table it replaced.
+func TestInstallForwardingReturnsDisplacedTable(t *testing.T) {
+	topo := testTopo(t)
+	s := NewSimulator()
+	n, err := NewNetwork(s, topo, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := topo.Snapshot(0).ForwardingTable()
+	b := topo.Snapshot(1).ForwardingTable()
+	if prev := n.InstallForwarding(a); prev != nil {
+		t.Errorf("first install displaced %v, want nil", prev)
+	}
+	if prev := n.InstallForwarding(b); prev != a {
+		t.Errorf("second install displaced %p, want %p", prev, a)
+	}
+	if prev := n.InstallForwarding(a); prev != b {
+		t.Errorf("third install displaced %p, want %p", prev, b)
+	}
+}

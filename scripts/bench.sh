@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Forwarding-state benchmark harness: runs the routing and core benchmarks
+# with -benchmem and emits machine-readable results to BENCH_routing.json in
+# the repository root. Run from anywhere:
+#
+#   ./scripts/bench.sh [benchtime]
+#
+# benchtime defaults to 5x (per-benchmark iterations); pass e.g. 2s for
+# time-based runs on faster machines.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-5x}"
+out="BENCH_routing.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "== go test -bench (routing + core forwarding state; benchtime=$benchtime) =="
+go test -run '^$' \
+    -bench 'Snapshot$|SnapshotInto|ForwardingTableFull|ForwardingTablePooled' \
+    -benchtime "$benchtime" -benchmem -count=1 ./internal/routing/ | tee -a "$raw"
+go test -run '^$' \
+    -bench 'ForwardingStateSerial|ForwardingStatePipelined' \
+    -benchtime "$benchtime" -benchmem -count=1 ./internal/core/ | tee -a "$raw"
+
+awk -v goversion="$(go version | awk '{print $3}')" -v nproc="$(nproc)" '
+/^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns[name] = $3
+    if ($6 == "B/op")      bytes[name]  = $5
+    if ($8 == "allocs/op") allocs[name] = $7
+    order[n++] = name
+}
+END {
+    printf "{\n"
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"gomaxprocs\": %d,\n", nproc
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"benchmarks\": {\n"
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        printf "    \"%s\": {\"ns_per_op\": %s", name, ns[name]
+        if (name in bytes)  printf ", \"bytes_per_op\": %s", bytes[name]
+        if (name in allocs) printf ", \"allocs_per_op\": %s", allocs[name]
+        printf "}%s\n", (i < n - 1) ? "," : ""
+    }
+    printf "  },\n"
+    serial = ns["BenchmarkForwardingStateSerial"]
+    piped  = ns["BenchmarkForwardingStatePipelined"]
+    if (serial > 0 && piped > 0)
+        printf "  \"serial_over_pipelined\": %.3f\n", serial / piped
+    else
+        printf "  \"serial_over_pipelined\": null\n"
+    printf "}\n"
+}' "$raw" > "$out"
+
+echo "wrote $out"

@@ -33,7 +33,7 @@ if go run ./cmd/hypatialint ./cmd/hypatialint/testdata/src/... >/dev/null; then
     exit 1
 fi
 
-echo "== go test -race -tags hypatia_checks =="
-go test -race -tags hypatia_checks ./...
+echo "== go test -race -tags hypatia_checks (shuffled) =="
+go test -race -tags hypatia_checks -shuffle=on ./...
 
 echo "ALL CHECKS PASSED"
