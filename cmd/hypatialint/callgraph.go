@@ -1,0 +1,160 @@
+package main
+
+// Module-local call graph over every loaded package (lint targets plus the
+// dependencies the loader pulled in). Nodes are declared functions/methods
+// (*types.Func) and function literals (*ast.FuncLit); edges are statically
+// resolved calls, with go-statement launches marked separately so the
+// locksafety check can split the program into "event loop side" and
+// "goroutine side".
+//
+// Dynamic calls (through function values, interface methods, or unresolved
+// selectors) produce no edge; the affected checks treat their absence
+// conservatively where it matters and document the gap otherwise.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// cgKey identifies a call-graph node: *types.Func or *ast.FuncLit.
+type cgKey any
+
+type cgEdge struct {
+	callee cgKey
+	viaGo  bool // edge created by a go statement
+}
+
+type callGraph struct {
+	edges  map[cgKey][]cgEdge
+	body   map[cgKey]*ast.BlockStmt
+	pkgOf  map[cgKey]*pkg
+	declOf map[*types.Func]*ast.FuncDecl
+	// funcsIn lists the nodes declared in each package, in file order
+	// (declarations first, literals in encounter order).
+	funcsIn map[*pkg][]cgKey
+	// normalCallers counts non-go in-edges, used to tell pure goroutine
+	// bodies (only ever launched, never called) from ordinary functions.
+	normalCallers map[cgKey]int
+}
+
+// buildCallGraph constructs the graph over the given packages.
+func buildCallGraph(pkgs []*pkg) *callGraph {
+	cg := &callGraph{
+		edges:         map[cgKey][]cgEdge{},
+		body:          map[cgKey]*ast.BlockStmt{},
+		pkgOf:         map[cgKey]*pkg{},
+		declOf:        map[*types.Func]*ast.FuncDecl{},
+		funcsIn:       map[*pkg][]cgKey{},
+		normalCallers: map[cgKey]int{},
+	}
+	for _, p := range pkgs {
+		for _, f := range p.files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := p.info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				cg.body[fn] = fd.Body
+				cg.pkgOf[fn] = p
+				cg.declOf[fn] = fd
+				cg.funcsIn[p] = append(cg.funcsIn[p], fn)
+			}
+		}
+	}
+	// Scan bodies after registration so intra-module edges resolve to
+	// registered nodes regardless of declaration order.
+	for _, p := range pkgs {
+		for _, key := range append([]cgKey(nil), cg.funcsIn[p]...) {
+			if fn, ok := key.(*types.Func); ok {
+				cg.scanBody(p, key, cg.declOf[fn].Body)
+			}
+		}
+	}
+	return cg
+}
+
+// scanBody records the outgoing edges of one function and registers (and
+// recursively scans) the literals it contains.
+func (cg *callGraph) scanBody(p *pkg, cur cgKey, body *ast.BlockStmt) {
+	goLits := map[*ast.FuncLit]bool{}
+	goCalls := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			cg.body[n] = n.Body
+			cg.pkgOf[n] = p
+			cg.funcsIn[p] = append(cg.funcsIn[p], n)
+			cg.addEdge(cur, n, goLits[n])
+			cg.scanBody(p, n, n.Body)
+			return false
+		case *ast.GoStmt:
+			goCalls[n.Call] = true
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				goLits[lit] = true
+			} else if callee := resolveCallee(p.info, n.Call); callee != nil {
+				cg.addEdge(cur, callee, true)
+			}
+		case *ast.CallExpr:
+			if goCalls[n] {
+				return true
+			}
+			if callee := resolveCallee(p.info, n); callee != nil {
+				cg.addEdge(cur, callee, false)
+			}
+		}
+		return true
+	})
+}
+
+func (cg *callGraph) addEdge(from cgKey, to cgKey, viaGo bool) {
+	cg.edges[from] = append(cg.edges[from], cgEdge{callee: to, viaGo: viaGo})
+	if !viaGo {
+		cg.normalCallers[to]++
+	}
+}
+
+// resolveCallee statically resolves a call's target function, or nil for
+// dynamic calls, conversions, and builtins.
+func resolveCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// reach returns every node reachable from roots. When followGo is true the
+// traversal crosses go-statement edges (the goroutine side is closed under
+// both launching and calling); when false it follows plain calls only (the
+// event-loop side never enters a goroutine body by calling it).
+func (cg *callGraph) reach(roots []cgKey, followGo bool) map[cgKey]bool {
+	seen := map[cgKey]bool{}
+	stack := append([]cgKey(nil), roots...)
+	for len(stack) > 0 {
+		k := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if k == nil || seen[k] {
+			continue
+		}
+		seen[k] = true
+		for _, e := range cg.edges[k] {
+			if e.viaGo && !followGo {
+				continue
+			}
+			if !seen[e.callee] {
+				stack = append(stack, e.callee)
+			}
+		}
+	}
+	return seen
+}

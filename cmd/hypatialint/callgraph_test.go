@@ -1,0 +1,118 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// buildRepoCallGraph loads internal/core (pulling its dependencies through
+// the loader) and builds the call graph over everything loaded.
+func buildRepoCallGraph(t *testing.T) *callGraph {
+	t.Helper()
+	l, err := newLoader(".")
+	if err != nil {
+		t.Fatalf("newLoader: %v", err)
+	}
+	if _, err := l.load(l.module + "/internal/core"); err != nil {
+		t.Fatalf("load internal/core: %v", err)
+	}
+	var all []*pkg
+	for _, p := range l.cache {
+		all = append(all, p)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].path < all[j].path })
+	return buildCallGraph(all)
+}
+
+// findFn locates a declared function/method by package-path suffix and name.
+func findFn(t *testing.T, cg *callGraph, pathSuffix, name string) *types.Func {
+	t.Helper()
+	for fn := range cg.declOf {
+		if fn.Name() == name && fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), pathSuffix) {
+			return fn
+		}
+	}
+	t.Fatalf("function %s.%s not found in call graph", pathSuffix, name)
+	return nil
+}
+
+func hasEdge(cg *callGraph, from, to cgKey, viaGo bool) bool {
+	for _, e := range cg.edges[from] {
+		if e.callee == to && e.viaGo == viaGo {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCallGraphCrossPackage pins the resolution the locksafety and lifecycle
+// checks depend on: the pipeline's launch edge is marked viaGo, the worker's
+// helper call resolves, and the helper's pool acquisition resolves across
+// the package boundary into internal/routing.
+func TestCallGraphCrossPackage(t *testing.T) {
+	cg := buildRepoCallGraph(t)
+	newPipeline := findFn(t, cg, "internal/core", "newPipeline")
+	worker := findFn(t, cg, "internal/core", "worker")
+	helper := findFn(t, cg, "internal/core", "shortestPathPooled")
+	empty := findFn(t, cg, "internal/routing", "Empty")
+
+	if !hasEdge(cg, newPipeline, worker, true) {
+		t.Error("newPipeline -> worker launch edge missing or not marked viaGo")
+	}
+	if hasEdge(cg, newPipeline, worker, false) {
+		t.Error("worker must not appear as a plain callee of newPipeline")
+	}
+	if !hasEdge(cg, worker, helper, false) {
+		t.Error("worker -> shortestPathPooled call edge missing")
+	}
+	if !hasEdge(cg, helper, empty, false) {
+		t.Error("shortestPathPooled -> TablePool.Empty cross-package edge missing")
+	}
+}
+
+// TestCallGraphReachability pins the side-splitting semantics of reach: the
+// goroutine side follows launches transitively across packages; the
+// event-loop side stops at go statements.
+func TestCallGraphReachability(t *testing.T) {
+	cg := buildRepoCallGraph(t)
+	newPipeline := findFn(t, cg, "internal/core", "newPipeline")
+	worker := findFn(t, cg, "internal/core", "worker")
+	helper := findFn(t, cg, "internal/core", "shortestPathPooled")
+	empty := findFn(t, cg, "internal/routing", "Empty")
+
+	goSide := cg.reach([]cgKey{worker}, true)
+	for _, want := range []*types.Func{worker, helper, empty} {
+		if !goSide[want] {
+			t.Errorf("goroutine side must reach %s", want.Name())
+		}
+	}
+
+	loopView := cg.reach([]cgKey{newPipeline}, false)
+	if loopView[worker] {
+		t.Error("event-loop side crossed a go edge into worker")
+	}
+	launchView := cg.reach([]cgKey{newPipeline}, true)
+	if !launchView[worker] || !launchView[empty] {
+		t.Error("go-following traversal from newPipeline must reach worker and its pool acquisition")
+	}
+}
+
+// TestCallGraphFuncLitGo verifies that a go-launched function literal gets a
+// viaGo edge from its enclosing function (core.PartialForwardingTable fans
+// out per-destination workers this way).
+func TestCallGraphFuncLitGo(t *testing.T) {
+	cg := buildRepoCallGraph(t)
+	partial := findFn(t, cg, "internal/core", "PartialForwardingTable")
+	found := false
+	for _, e := range cg.edges[partial] {
+		if _, isLit := e.callee.(*ast.FuncLit); isLit && e.viaGo {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("PartialForwardingTable must launch a function literal with a viaGo edge")
+	}
+}

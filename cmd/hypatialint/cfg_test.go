@@ -1,0 +1,311 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseCFG builds the CFG of the first function declaration in src.
+func parseCFG(t *testing.T, src string) *funcCFG {
+	t.Helper()
+	f, err := parser.ParseFile(token.NewFileSet(), "test.go", "package p\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return buildCFG(fd.Body, nil)
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// findBlock returns the first block containing a node matched by pred.
+func findBlock(g *funcCFG, pred func(ast.Node) bool) *cfgBlock {
+	for _, blk := range g.blocks {
+		for _, n := range blk.nodes {
+			found := false
+			shallowInspect(n, func(m ast.Node) bool {
+				found = found || pred(m)
+				return !found
+			})
+			if found {
+				return blk
+			}
+		}
+	}
+	return nil
+}
+
+func assignsLit(val string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return false
+		}
+		lit, ok := as.Rhs[0].(*ast.BasicLit)
+		return ok && lit.Value == val
+	}
+}
+
+func hasSucc(from, to *cfgBlock) bool {
+	for _, s := range from.succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := parseCFG(t, `func f() { a := 1; b := a; _ = b }`)
+	if len(g.entry.nodes) != 3 {
+		t.Errorf("entry holds %d nodes, want all 3 statements", len(g.entry.nodes))
+	}
+	if !hasSucc(g.entry, g.exit) {
+		t.Error("straight-line body must flow entry -> exit")
+	}
+	if g.unstructured {
+		t.Error("straight-line body marked unstructured")
+	}
+}
+
+func TestCFGEarlyReturn(t *testing.T) {
+	g := parseCFG(t, `func f(a bool) int {
+		x := 1
+		if a {
+			return x
+		}
+		x = 2
+		return x
+	}`)
+	preds := g.preds()
+	if n := len(preds[g.exit]); n != 2 {
+		t.Errorf("exit has %d predecessors, want 2 (early return and fallthrough return)", n)
+	}
+	reach := g.reachable()
+	if !reach[g.exit] {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	g := parseCFG(t, `func f(n int) {
+		s := 0
+		for i := 0; i < n; i++ {
+			if i == 3 {
+				continue
+			}
+			if i == 7 {
+				break
+			}
+			s = 9
+		}
+		s = 2
+		_ = s
+	}`)
+	// The loop must produce a cycle reachable from entry.
+	reach := g.reachable()
+	cycle := false
+	for blk := range reach {
+		var stack []*cfgBlock
+		seen := map[*cfgBlock]bool{}
+		stack = append(stack, blk.succs...)
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if b == blk {
+				cycle = true
+				break
+			}
+			if !seen[b] {
+				seen[b] = true
+				stack = append(stack, b.succs...)
+			}
+		}
+		if cycle {
+			break
+		}
+	}
+	if !cycle {
+		t.Error("for loop produced no cycle in the CFG")
+	}
+	// break must route to the code after the loop: the block assigning 9
+	// (loop body tail) and the block assigning 2 (after the loop) are both
+	// reachable.
+	if blk := findBlock(g, assignsLit("9")); blk == nil || !reach[blk] {
+		t.Error("loop body tail unreachable")
+	}
+	if blk := findBlock(g, assignsLit("2")); blk == nil || !reach[blk] {
+		t.Error("code after the loop unreachable")
+	}
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	g := parseCFG(t, `func f(xs []int) {
+		s := 0
+		for _, x := range xs {
+			s = 9
+			_ = x
+		}
+		s = 2
+		_ = s
+	}`)
+	reach := g.reachable()
+	body := findBlock(g, assignsLit("9"))
+	after := findBlock(g, assignsLit("2"))
+	if body == nil || after == nil || !reach[body] || !reach[after] {
+		t.Fatal("range body or continuation missing from the CFG")
+	}
+	// The body loops back to the header, never straight to the continuation.
+	if hasSucc(body, after) {
+		t.Error("range body must flow back through the header, not fall through")
+	}
+}
+
+func TestCFGDeferReplayedAtExit(t *testing.T) {
+	g := parseCFG(t, `func f(a bool) {
+		defer cleanup()
+		if a {
+			return
+		}
+		work()
+	}`)
+	if len(g.exit.nodes) == 0 {
+		t.Fatal("exit block empty; deferred call not replayed")
+	}
+	last := g.exit.nodes[len(g.exit.nodes)-1]
+	call, ok := last.(*ast.CallExpr)
+	if !ok {
+		t.Fatalf("exit block ends with %T, want the deferred *ast.CallExpr", last)
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "cleanup" {
+		t.Errorf("replayed call is %v, want cleanup()", call.Fun)
+	}
+	if n := len(g.preds()[g.exit]); n != 2 {
+		t.Errorf("exit has %d predecessors, want 2 (early return and normal completion)", n)
+	}
+}
+
+func TestCFGDeferLIFO(t *testing.T) {
+	g := parseCFG(t, `func f() {
+		defer first()
+		defer second()
+	}`)
+	var names []string
+	for _, n := range g.exit.nodes {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				names = append(names, id.Name)
+			}
+		}
+	}
+	if strings.Join(names, ",") != "second,first" {
+		t.Errorf("deferred calls replay as %v, want LIFO [second first]", names)
+	}
+}
+
+func TestCFGPanicTerminatesBlock(t *testing.T) {
+	g := parseCFG(t, `func f(a bool) {
+		if a {
+			panic("dead end")
+		}
+		_ = a
+	}`)
+	blk := findBlock(g, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	})
+	if blk == nil {
+		t.Fatal("panic block not found")
+	}
+	if len(blk.succs) != 0 {
+		t.Errorf("panic block has %d successors, want 0 (the path dies)", len(blk.succs))
+	}
+}
+
+func TestCFGGotoUnstructured(t *testing.T) {
+	g := parseCFG(t, `func f() {
+	loop:
+		goto loop
+	}`)
+	if !g.unstructured {
+		t.Error("goto must mark the CFG unstructured")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := parseCFG(t, `func f(x, y int) {
+		switch x {
+		case 1:
+			y = 1
+			fallthrough
+		case 2:
+			y = 2
+		default:
+			y = 3
+		}
+		_ = y
+	}`)
+	one := findBlock(g, assignsLit("1"))
+	two := findBlock(g, assignsLit("2"))
+	three := findBlock(g, assignsLit("3"))
+	if one == nil || two == nil || three == nil {
+		t.Fatal("case bodies missing from the CFG")
+	}
+	if !hasSucc(one, two) {
+		t.Error("fallthrough must wire case 1 directly into case 2")
+	}
+	if hasSucc(two, three) {
+		t.Error("case 2 must not fall into default")
+	}
+	reach := g.reachable()
+	for _, blk := range []*cfgBlock{one, two, three} {
+		if !reach[blk] {
+			t.Error("a case body is unreachable")
+		}
+	}
+}
+
+func TestShallowInspectSkipsNestedBodies(t *testing.T) {
+	f, err := parser.ParseFile(token.NewFileSet(), "test.go", `package p
+func f(xs []int) {
+	for k, v := range xs {
+		inner()
+		_ = k
+		_ = v
+	}
+}`, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rng *ast.RangeStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		if r, ok := n.(*ast.RangeStmt); ok {
+			rng = r
+		}
+		return true
+	})
+	var idents []string
+	shallowInspect(rng, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			idents = append(idents, id.Name)
+		}
+		return true
+	})
+	joined := strings.Join(idents, ",")
+	if !strings.Contains(joined, "k") || !strings.Contains(joined, "xs") {
+		t.Errorf("range header idents not visited: %v", idents)
+	}
+	if strings.Contains(joined, "inner") {
+		t.Errorf("shallowInspect descended into the range body: %v", idents)
+	}
+}

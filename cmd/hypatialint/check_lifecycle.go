@@ -1,0 +1,371 @@
+package main
+
+// The lifecycle check: intraprocedural, flow-sensitive tracking of pooled
+// forwarding tables — the arena-backed buffers the PR-2 pipeline recycles.
+// A value acquired from routing.TablePool.Empty/Get, Snapshot.
+// ForwardingTable, or routing.NewEmptyForwardingTable is LIVE; calling
+// Release moves it to RELEASED; letting it reach another owner (returned,
+// stored into a field/slice/map/channel, passed to a call, captured by a
+// closure, address-taken, or aliased) moves it to ESCAPED, after which this
+// function is no longer accountable for it. Findings:
+//
+//	use-after-release  any use of a table that may be released (some path
+//	                   released it and none escaped it)
+//	double-release     Release on a table that may already be released
+//	leak               a pool-acquired table that reaches function exit (or
+//	                   is overwritten) still live on some path — the classic
+//	                   early-return/error-path bug
+//
+// The state is a may-bitset joined by union, so a table released on one
+// branch and used after the merge is reported even though another branch
+// kept it live. Aliasing transfers the state to the new name and marks the
+// old one escaped; flows through containers are not tracked (the store
+// itself escapes the table).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Lifecycle state bits (may-analysis: a bit is set if some path put the
+// table in that state).
+const (
+	lsLive uint8 = 1 << iota
+	lsReleased
+	lsEscaped
+)
+
+type lifecycleFact map[*types.Var]uint8
+
+var lifecycleLattice = flowLattice[lifecycleFact]{
+	bottom: func() lifecycleFact { return lifecycleFact{} },
+	clone: func(f lifecycleFact) lifecycleFact {
+		c := make(lifecycleFact, len(f))
+		for k, v := range f {
+			c[k] = v
+		}
+		return c
+	},
+	join: func(dst, src lifecycleFact) lifecycleFact {
+		for k, v := range src {
+			dst[k] |= v
+		}
+		return dst
+	},
+	equal: func(a, b lifecycleFact) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k, v := range a {
+			if b[k] != v {
+				return false
+			}
+		}
+		return true
+	},
+}
+
+// checkLifecyclePkg runs the lifecycle analysis over every function of the
+// package. It is unscoped: tables may be acquired anywhere routing is
+// imported.
+func checkLifecyclePkg(p *pkg, rep *reporter) {
+	forEachFuncBody(p, func(body *ast.BlockStmt) {
+		g := buildCFG(body, p.info)
+		if g.unstructured {
+			return // goto: block structure unreliable, skip the function
+		}
+		lc := &lifecycleCheck{p: p, acqPos: map[*types.Var]token.Pos{}}
+		in := forwardDataflow(g, lifecycleLattice, lifecycleFact{}, lc.transfer)
+		emit := func(n ast.Node, check, msg string) { rep.add(n.Pos(), check, msg) }
+		exit := replayDataflow(g, lifecycleLattice, in, lc.transfer, emit)
+		for v, st := range exit {
+			if st&lsLive != 0 && st&lsEscaped == 0 {
+				pos := v.Pos()
+				if a, ok := lc.acqPos[v]; ok {
+					pos = a
+				}
+				rep.add(pos, checkLifecycle, fmt.Sprintf(
+					"pooled forwarding table %q may reach function exit without Release (leaked arena on some path)", v.Name()))
+			}
+		}
+	})
+}
+
+// lifecycleCheck carries per-function side state for the transfer function.
+type lifecycleCheck struct {
+	p      *pkg
+	acqPos map[*types.Var]token.Pos // first acquisition site per variable
+}
+
+// transfer advances the lifecycle fact across one CFG node.
+func (lc *lifecycleCheck) transfer(f lifecycleFact, n ast.Node, emit func(ast.Node, string, string)) lifecycleFact {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		// Right-hand sides first (uses happen before the store).
+		for _, rhs := range n.Rhs {
+			lc.scanUses(f, rhs, emit)
+		}
+		if len(n.Lhs) == len(n.Rhs) {
+			for i, lhs := range n.Lhs {
+				lc.assign(f, lhs, n.Rhs[i], emit)
+			}
+		} else {
+			for _, lhs := range n.Lhs {
+				lc.assign(f, lhs, nil, emit)
+			}
+		}
+		// Left-hand sides that are not plain identifiers (x.f = t, m[k] = t)
+		// still evaluate their sub-expressions.
+		for _, lhs := range n.Lhs {
+			if _, ok := ast.Unparen(lhs).(*ast.Ident); !ok {
+				lc.scanUses(f, lhs, emit)
+			}
+		}
+	case *ast.DeferStmt:
+		// Receiver and arguments are evaluated at the defer statement; the
+		// deferred call itself is replayed in the CFG's exit block.
+		lc.scanUses(f, n.Call.Fun, emit)
+		for _, a := range n.Call.Args {
+			lc.scanUses(f, a, emit)
+			lc.escapeAfterUse(f, a, emit)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			lc.scanUses(f, r, emit)
+			lc.escapeAfterUse(f, r, emit)
+		}
+	case ast.Stmt:
+		lc.scanUses(f, n, emit)
+	case ast.Expr:
+		lc.scanUses(f, n, emit)
+	}
+	return f
+}
+
+// assign handles `lhs = rhs` for one assignment position.
+func (lc *lifecycleCheck) assign(f lifecycleFact, lhs ast.Expr, rhs ast.Expr, emit func(ast.Node, string, string)) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		// Store into a field/slice/map: the stored table escapes.
+		if rhs != nil {
+			lc.escapeAfterUse(f, rhs, emit)
+		}
+		return
+	}
+	v, _ := lc.objectOf(id)
+	if v == nil {
+		return // `_ = t` discards without using; non-table lhs is untracked
+	}
+	// Overwriting a table that is still live on every account loses the
+	// last reference without Release: report it as a leak at the overwrite.
+	if st, tracked := f[v]; tracked && st == lsLive && emit != nil {
+		emit(lhs, checkLifecycle, fmt.Sprintf(
+			"pooled forwarding table %q overwritten while live; Release it first", v.Name()))
+	}
+	switch {
+	case rhs == nil:
+		delete(f, v)
+	case lc.acqSite(rhs) != nil:
+		f[v] = lsLive
+		if _, ok := lc.acqPos[v]; !ok {
+			lc.acqPos[v] = rhs.Pos()
+		}
+	default:
+		if src := lc.trackedIdent(f, rhs); src != nil && src != v {
+			// Alias: the new name takes over the state; the old name is no
+			// longer this function's responsibility.
+			f[v] = f[src]
+			f[src] |= lsEscaped
+		} else if src == nil {
+			delete(f, v) // now holds an untracked value
+		}
+	}
+}
+
+// scanUses walks an expression/statement shallowly, reporting uses of
+// maybe-released tables and applying Release/escape semantics to the calls
+// and stores it contains.
+func (lc *lifecycleCheck) scanUses(f lifecycleFact, n ast.Node, emit func(ast.Node, string, string)) {
+	shallowInspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			if v := lc.releaseReceiver(f, m); v != nil {
+				if st := f[v]; st&lsReleased != 0 && st&lsEscaped == 0 && emit != nil {
+					emit(m, checkLifecycle, fmt.Sprintf(
+						"double Release of forwarding table %q (already released on some path)", v.Name()))
+				}
+				f[v] = lsReleased
+				return false // receiver handled; not a plain use
+			}
+			// Tracked tables passed as arguments escape into the callee.
+			for _, a := range m.Args {
+				lc.escapeAfterUse(f, a, emit)
+			}
+		case *ast.SendStmt:
+			lc.escapeAfterUse(f, m.Value, emit)
+		case *ast.CompositeLit:
+			for _, e := range m.Elts {
+				if kv, ok := e.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				lc.escapeAfterUse(f, e, emit)
+			}
+		case *ast.UnaryExpr:
+			if m.Op == token.AND {
+				lc.escapeAfterUse(f, m.X, emit) // address taken
+			}
+		case *ast.FuncLit:
+			// Closure capture: every tracked variable referenced inside the
+			// literal escapes this function's accounting.
+			ast.Inspect(m.Body, func(k ast.Node) bool {
+				if id, ok := k.(*ast.Ident); ok {
+					if v, _ := lc.objectOf(id); v != nil {
+						if _, tracked := f[v]; tracked {
+							f[v] |= lsEscaped
+						}
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.Ident:
+			if v, _ := lc.objectOf(m); v != nil {
+				if st, tracked := f[v]; tracked && st&lsReleased != 0 && st&lsEscaped == 0 && emit != nil {
+					emit(m, checkLifecycle, fmt.Sprintf(
+						"forwarding table %q used after Release (its arena may already be reissued)", v.Name()))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// escapeAfterUse reports a maybe-released use of a tracked identifier, then
+// marks it escaped (passed to another owner).
+func (lc *lifecycleCheck) escapeAfterUse(f lifecycleFact, e ast.Expr, emit func(ast.Node, string, string)) {
+	v := lc.trackedIdent(f, e)
+	if v == nil {
+		return
+	}
+	if st := f[v]; st&lsReleased != 0 && st&lsEscaped == 0 && emit != nil {
+		emit(e, checkLifecycle, fmt.Sprintf(
+			"forwarding table %q used after Release (its arena may already be reissued)", v.Name()))
+	}
+	f[v] |= lsEscaped
+}
+
+// trackedIdent returns the tracked variable e denotes, if any.
+func (lc *lifecycleCheck) trackedIdent(f lifecycleFact, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := lc.objectOf(id)
+	if v == nil {
+		return nil
+	}
+	if _, tracked := f[v]; !tracked {
+		return nil
+	}
+	return v
+}
+
+// objectOf resolves an identifier to a local *types.Var of type
+// *routing.ForwardingTable.
+func (lc *lifecycleCheck) objectOf(id *ast.Ident) (*types.Var, bool) {
+	obj := lc.p.info.Uses[id]
+	if obj == nil {
+		obj = lc.p.info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil, false
+	}
+	if !isForwardingTablePtr(v.Type()) {
+		return nil, false
+	}
+	return v, true
+}
+
+// releaseReceiver recognizes `x.Release()` on a tracked table and returns x.
+func (lc *lifecycleCheck) releaseReceiver(f lifecycleFact, call *ast.CallExpr) *types.Var {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Release" || len(call.Args) != 0 {
+		return nil
+	}
+	return lc.trackedIdent(f, sel.X)
+}
+
+// acqSite reports whether e is an acquisition call: TablePool.Empty/Get,
+// Snapshot.ForwardingTable, or routing.NewEmptyForwardingTable.
+func (lc *lifecycleCheck) acqSite(e ast.Expr) *ast.CallExpr {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	var fn *types.Func
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = lc.p.info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = lc.p.info.Uses[fun.Sel].(*types.Func)
+	}
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	if sig.Recv() == nil {
+		if fn.Name() == "NewEmptyForwardingTable" && isRoutingPkg(fn.Pkg()) {
+			return call
+		}
+		return nil
+	}
+	path, recv, okN := namedType(sig.Recv().Type())
+	if !okN || !strings.HasSuffix(path, "internal/routing") {
+		return nil
+	}
+	if (recv == "TablePool" && (fn.Name() == "Empty" || fn.Name() == "Get")) ||
+		(recv == "Snapshot" && fn.Name() == "ForwardingTable") {
+		return call
+	}
+	return nil
+}
+
+// isForwardingTablePtr reports whether t is *routing.ForwardingTable.
+func isForwardingTablePtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	path, name, ok := namedType(ptr.Elem())
+	return ok && name == "ForwardingTable" && strings.HasSuffix(path, "internal/routing")
+}
+
+func isRoutingPkg(p *types.Package) bool {
+	return p != nil && strings.HasSuffix(p.Path(), "internal/routing")
+}
+
+// forEachFuncBody invokes fn for every function declaration and function
+// literal body in the package, each exactly once (an enclosing function's
+// CFG stops at a literal; the literal's body is analyzed on its own visit).
+func forEachFuncBody(p *pkg, fn func(body *ast.BlockStmt)) {
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					fn(n.Body)
+				}
+			case *ast.FuncLit:
+				fn(n.Body)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,390 @@
+package main
+
+// The locksafety check: struct fields accessed from both the event-loop
+// side and the goroutine side of the pipeline packages must be guarded.
+//
+// The call graph's go-statement edges split the program in two. The
+// goroutine side is everything reachable from a go-launched function or
+// literal (following further launches and plain calls); the event-loop side
+// is everything reachable from the scope's ordinary functions WITHOUT
+// crossing a go edge. A struct field accessed on both sides is shared
+// state, and every write to it must be protected, or the write races with
+// the other side.
+//
+// A write to a shared field is exempt when:
+//   - the field's type is a channel (the handoff IS the synchronization),
+//   - the field's type is declared in sync or sync/atomic, or transitively
+//     contains a lock (noCopyType) — such fields synchronize themselves,
+//   - a mutex is provably held at the write (a must-dataflow over the CFG:
+//     X.Lock()/X.RLock() adds X to the held set, Unlock removes it, paths
+//     join by intersection),
+//   - the write happens before any goroutine is launched: in a function
+//     whose body contains the go statements, writes not reachable from any
+//     launch site are constructor-time initialization.
+//
+// The analysis is field-level (instance-insensitive) and only statically
+// resolved calls produce call-graph edges, so a write through an interface
+// method can be missed; the scope default keeps the check on the packages
+// built around the event-loop/worker split, where the convention is strict.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// lockAccess is one field access site inside a call-graph node.
+type lockAccess struct {
+	sel   *ast.SelectorExpr
+	fn    cgKey
+	write bool
+}
+
+func checkLockSafetyPkgs(targets []*pkg, cg *callGraph, cfg config, rep *reporter) {
+	var scope []*pkg
+	inScope := map[*pkg]bool{}
+	for _, p := range targets {
+		if inSimScope(p.path, cfg.lockScope) {
+			scope = append(scope, p)
+			inScope[p] = true
+		}
+	}
+	if len(scope) == 0 {
+		return
+	}
+
+	// Split the scope's call graph into goroutine side and event-loop side.
+	var goRoots []cgKey
+	for _, p := range scope {
+		for _, node := range cg.funcsIn[p] {
+			for _, e := range cg.edges[node] {
+				if e.viaGo {
+					goRoots = append(goRoots, e.callee)
+				}
+			}
+		}
+	}
+	if len(goRoots) == 0 {
+		return // no concurrency in scope: nothing can race
+	}
+	goSide := cg.reach(goRoots, true)
+	// Event-loop entry points are the scope functions the goroutine side
+	// cannot reach: launched bodies and their private helpers are excluded,
+	// while a function genuinely called from BOTH sides still lands in
+	// loopSide through its loop-side callers during the traversal.
+	var loopRoots []cgKey
+	for _, p := range scope {
+		for _, node := range cg.funcsIn[p] {
+			if !goSide[node] {
+				loopRoots = append(loopRoots, node)
+			}
+		}
+	}
+	loopSide := cg.reach(loopRoots, false)
+
+	// Collect every field access in scope-package bodies on either side.
+	perField := map[*types.Var][]lockAccess{}
+	fieldOrder := []*types.Var{}
+	for _, p := range scope {
+		for _, node := range cg.funcsIn[p] {
+			if !goSide[node] && !loopSide[node] {
+				continue
+			}
+			for _, acc := range collectFieldAccesses(p, cg.body[node], node) {
+				if _, seen := perField[acc.field]; !seen {
+					fieldOrder = append(fieldOrder, acc.field)
+				}
+				perField[acc.field] = append(perField[acc.field], acc.lockAccess)
+			}
+		}
+	}
+
+	// A field is shared when both sides touch it and someone writes it.
+	for _, field := range fieldOrder {
+		accs := perField[field]
+		var onGo, onLoop, anyWrite bool
+		for _, a := range accs {
+			if goSide[a.fn] {
+				onGo = true
+			}
+			if loopSide[a.fn] {
+				onLoop = true
+			}
+			anyWrite = anyWrite || a.write
+		}
+		if !onGo || !onLoop || !anyWrite || exemptLockField(field) {
+			continue
+		}
+		// Group this field's candidate writes by function and run the
+		// held-locks dataflow once per function.
+		byFn := map[cgKey][]*ast.SelectorExpr{}
+		var fnOrder []cgKey
+		for _, a := range accs {
+			if !a.write {
+				continue
+			}
+			if len(byFn[a.fn]) == 0 {
+				fnOrder = append(fnOrder, a.fn)
+			}
+			byFn[a.fn] = append(byFn[a.fn], a.sel)
+		}
+		for _, fn := range fnOrder {
+			reportUnguardedWrites(cg, fn, field, byFn[fn], goSide, loopSide, rep)
+		}
+	}
+}
+
+type fieldAccess struct {
+	lockAccess
+	field *types.Var
+}
+
+// collectFieldAccesses walks one call-graph node's body (not descending
+// into nested function literals — those are their own nodes) and records
+// struct-field reads and writes.
+func collectFieldAccesses(p *pkg, body *ast.BlockStmt, node cgKey) []fieldAccess {
+	if body == nil {
+		return nil
+	}
+	// First pass: mark the selector expressions that are assignment targets.
+	written := map[ast.Expr]bool{}
+	markWrite := func(lhs ast.Expr) {
+		lhs = ast.Unparen(lhs)
+		// p.f = x writes f; p.f[i] = x and *p.f = x mutate what f holds.
+		for {
+			switch e := lhs.(type) {
+			case *ast.IndexExpr:
+				lhs = ast.Unparen(e.X)
+				continue
+			case *ast.StarExpr:
+				lhs = ast.Unparen(e.X)
+				continue
+			}
+			break
+		}
+		if sel, ok := lhs.(*ast.SelectorExpr); ok {
+			written[sel] = true
+		}
+	}
+	skipLits := func(fn func(ast.Node) bool) func(ast.Node) bool {
+		return func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok && n != nil {
+				return false
+			}
+			return fn(n)
+		}
+	}
+	ast.Inspect(body, skipLits(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				markWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			markWrite(n.X)
+		}
+		return true
+	}))
+	var out []fieldAccess
+	ast.Inspect(body, skipLits(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if field, ok := p.info.Uses[sel.Sel].(*types.Var); ok && field.IsField() {
+			out = append(out, fieldAccess{
+				lockAccess: lockAccess{sel: sel, fn: node, write: written[sel]},
+				field:      field,
+			})
+		}
+		return true
+	}))
+	return out
+}
+
+// exemptLockField reports whether a field synchronizes itself.
+func exemptLockField(field *types.Var) bool {
+	t := field.Type()
+	if _, isChan := t.Underlying().(*types.Chan); isChan {
+		return true
+	}
+	if path, _, ok := namedType(t); ok && (path == "sync" || path == "sync/atomic") {
+		return true
+	}
+	if _, locky := noCopyType(t); locky {
+		return true // contains a lock: guarded by its own methods
+	}
+	return false
+}
+
+// ---- held-locks dataflow ----
+
+type lockFact map[string]bool
+
+var lockLattice = flowLattice[lockFact]{
+	bottom: func() lockFact { return lockFact{} },
+	clone: func(f lockFact) lockFact {
+		c := make(lockFact, len(f))
+		for k := range f {
+			c[k] = true
+		}
+		return c
+	},
+	join: func(dst, src lockFact) lockFact {
+		// Must-analysis: a lock is held after a join only if held on every
+		// incoming path.
+		for k := range dst {
+			if !src[k] {
+				delete(dst, k)
+			}
+		}
+		return dst
+	},
+	equal: func(a, b lockFact) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	},
+}
+
+// reportUnguardedWrites flags each candidate write in fn at which no lock is
+// provably held, minus constructor-time writes that precede every goroutine
+// launch in the function.
+func reportUnguardedWrites(cg *callGraph, fn cgKey, field *types.Var, sels []*ast.SelectorExpr, goSide, loopSide map[cgKey]bool, rep *reporter) {
+	p := cg.pkgOf[fn]
+	body := cg.body[fn]
+	if p == nil || body == nil {
+		return
+	}
+	g := buildCFG(body, p.info)
+	if g.unstructured {
+		return
+	}
+	candidate := map[*ast.SelectorExpr]bool{}
+	for _, s := range sels {
+		candidate[s] = true
+	}
+	preGo := map[*ast.SelectorExpr]bool{}
+	if !goSide[fn] {
+		markPreGoWrites(g, candidate, preGo)
+	}
+	side := "the event-loop side"
+	switch {
+	case goSide[fn] && loopSide[fn]:
+		side = "both sides"
+	case goSide[fn]:
+		side = "the goroutine side"
+	}
+	xfer := func(f lockFact, n ast.Node, emit func(ast.Node, string, string)) lockFact {
+		shallowInspect(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				applyLockCall(p, f, call)
+			}
+			if sel, ok := m.(*ast.SelectorExpr); ok && candidate[sel] && !preGo[sel] && len(f) == 0 && emit != nil {
+				emit(sel, checkLockSafety, fmt.Sprintf(
+					"write to %s on %s without a held lock; the field is also accessed from the other side of a go statement (guard it or hand it off on a channel)",
+					fieldLabel(field), side))
+			}
+			return true
+		})
+		return f
+	}
+	in := forwardDataflow(g, lockLattice, lockFact{}, xfer)
+	replayDataflow(g, lockLattice, in, xfer, func(n ast.Node, check, msg string) {
+		rep.add(n.Pos(), check, msg)
+	})
+}
+
+// applyLockCall updates the held-lock set for X.Lock()/X.Unlock() calls.
+func applyLockCall(p *pkg, f lockFact, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	mfn, ok := p.info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	recv := p.info.TypeOf(sel.X)
+	if recv == nil || !hasLockMethod(recv) {
+		return
+	}
+	key := types.ExprString(sel.X)
+	switch mfn.Name() {
+	case "Lock", "RLock":
+		f[key] = true
+	case "Unlock", "RUnlock":
+		delete(f, key)
+	}
+}
+
+// markPreGoWrites fills preGo with the candidate writes that execute before
+// any go statement in g: writes in blocks not reachable from a launch, and
+// writes preceding the launch inside its own block.
+func markPreGoWrites(g *funcCFG, candidate map[*ast.SelectorExpr]bool, preGo map[*ast.SelectorExpr]bool) {
+	// Find launch sites and the blocks poisoned by them.
+	postBlocks := map[*cfgBlock]bool{}
+	var queue []*cfgBlock
+	launchIdx := map[*cfgBlock]int{} // first go-stmt index within the block
+	hasGo := false
+	for _, blk := range g.blocks {
+		for i, n := range blk.nodes {
+			if _, ok := n.(*ast.GoStmt); ok {
+				hasGo = true
+				if _, seen := launchIdx[blk]; !seen {
+					launchIdx[blk] = i
+				}
+				queue = append(queue, blk.succs...)
+				break
+			}
+		}
+	}
+	if !hasGo {
+		return // nothing launches here: no write is constructor-time
+	}
+	for len(queue) > 0 {
+		blk := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if postBlocks[blk] {
+			continue
+		}
+		postBlocks[blk] = true
+		queue = append(queue, blk.succs...)
+	}
+	for _, blk := range g.blocks {
+		for i, n := range blk.nodes {
+			first, blkLaunches := launchIdx[blk]
+			post := postBlocks[blk] || (blkLaunches && i >= first)
+			if post {
+				continue
+			}
+			shallowInspect(n, func(m ast.Node) bool {
+				if sel, ok := m.(*ast.SelectorExpr); ok && candidate[sel] {
+					preGo[sel] = true
+				}
+				return true
+			})
+		}
+	}
+}
+
+func fieldLabel(field *types.Var) string {
+	path := ""
+	if field.Pkg() != nil {
+		path = field.Pkg().Path()
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			path = path[i+1:]
+		}
+	}
+	if path == "" {
+		return "field " + field.Name()
+	}
+	return "field " + path + "." + field.Name()
+}

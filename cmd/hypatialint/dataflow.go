@@ -1,0 +1,99 @@
+package main
+
+// A small forward dataflow framework over funcCFG. Each check family
+// supplies a lattice (join/equal/clone) and a transfer function over the
+// CFG's node granularity; the framework iterates a worklist to fixpoint and
+// hands back the fact flowing INTO every block. A check then replays each
+// reachable block once with its in-fact, reporting findings at precise
+// positions — the replay uses the same transfer function, so the reported
+// state is exactly the fixpoint state.
+
+import "go/ast"
+
+// flowLattice describes one analysis domain F.
+type flowLattice[F any] struct {
+	// bottom is the fact for an edge never executed (identity of join).
+	bottom func() F
+	// clone deep-copies a fact so transfer may mutate in place.
+	clone func(F) F
+	// join merges two facts (set union for may-analyses, intersection for
+	// must-analyses).
+	join func(dst, src F) F
+	// equal reports lattice equality, used to detect the fixpoint.
+	equal func(a, b F) bool
+}
+
+// transferFn advances fact across one CFG node, mutating and returning it.
+// emit is non-nil only during the reporting replay.
+type transferFn[F any] func(fact F, n ast.Node, emit func(n ast.Node, check, msg string)) F
+
+// forwardDataflow computes the fixpoint in-fact of every reachable block.
+// entryFact seeds the entry block. The iteration is bounded; all our
+// lattices are finite per function, so the bound only guards against a
+// non-monotone transfer bug.
+func forwardDataflow[F any](g *funcCFG, lat flowLattice[F], entryFact F, xfer transferFn[F]) map[*cfgBlock]F {
+	reach := g.reachable()
+	in := map[*cfgBlock]F{g.entry: entryFact}
+	work := []*cfgBlock{g.entry}
+	queued := map[*cfgBlock]bool{g.entry: true}
+	for steps := 0; len(work) > 0 && steps < 64*len(g.blocks)*(len(g.blocks)+2); steps++ {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		out := lat.clone(in[blk])
+		for _, n := range blk.nodes {
+			out = xfer(out, n, nil)
+		}
+		for _, s := range blk.succs {
+			if !reach[s] {
+				continue
+			}
+			cur, ok := in[s]
+			var merged F
+			if !ok {
+				merged = lat.clone(out)
+			} else {
+				merged = lat.join(lat.clone(cur), out)
+			}
+			if !ok || !lat.equal(merged, cur) {
+				in[s] = merged
+				if !queued[s] {
+					queued[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return in
+}
+
+// replayDataflow walks every reachable block once with its fixpoint in-fact,
+// invoking the transfer function with a live emit callback so findings are
+// reported against converged state. It returns the fact at the end of the
+// exit block (useful for at-exit checks such as leak detection).
+func replayDataflow[F any](g *funcCFG, lat flowLattice[F], in map[*cfgBlock]F, xfer transferFn[F], emit func(n ast.Node, check, msg string)) F {
+	reach := g.reachable()
+	var exitOut F
+	exitSeen := false
+	for _, blk := range g.blocks {
+		if !reach[blk] {
+			continue
+		}
+		fact, ok := in[blk]
+		if !ok {
+			fact = lat.bottom()
+		}
+		out := lat.clone(fact)
+		for _, n := range blk.nodes {
+			out = xfer(out, n, emit)
+		}
+		if blk == g.exit {
+			exitOut = out
+			exitSeen = true
+		}
+	}
+	if !exitSeen {
+		exitOut = lat.bottom()
+	}
+	return exitOut
+}

@@ -16,6 +16,10 @@ const (
 	checkTimeUnits      = "timeunits"      // raw float<->sim.Time conversions, float equality
 	checkDroppedError   = "droppederror"   // discarded error results
 	checkCopyLock       = "copylock"       // by-value copies of sync primitives / the engine
+	checkLifecycle      = "lifecycle"      // use-after-Release / double-Release / leaked forwarding tables
+	checkUnitSafety     = "unitsafety"     // degrees/radians/meters/seconds taint reaching a mismatched sink
+	checkLockSafety     = "locksafety"     // unguarded writes to state shared across a go statement
+	checkStaleIgnore    = "staleignore"    // //lint:ignore directives that no longer match any finding
 	checkDirective      = "directive"      // malformed //lint: comments
 )
 
@@ -25,47 +29,78 @@ var checkDocs = [][2]string{
 	{checkTimeUnits, "sim.Time/float conversions must go through sim.Seconds()/Time.Seconds(); no float ==/!= outside tests (zero-sentinel compares allowed)"},
 	{checkDroppedError, "error results must be handled or explicitly discarded with _ ="},
 	{checkCopyLock, "no by-value copies of types containing sync primitives, sim.Simulator, or the event heap"},
+	{checkLifecycle, "pooled forwarding tables must not be used after Release, released twice, or leaked on early-return paths"},
+	{checkUnitSafety, "degrees/radians/meters/kilometers/seconds must not mix or reach a sink expecting another unit"},
+	{checkLockSafety, "fields accessed from both sides of a go statement must be written under a lock, over a channel, or before launch"},
+	{checkStaleIgnore, "//lint:ignore directives must still match a finding; delete them when the code is fixed"},
 	{checkDirective, "//lint:ignore directives must name a check and give a reason"},
 }
 
-// Finding is one reported lint violation.
+// Finding is one reported lint violation. Suppressed findings (matched by a
+// //lint:ignore directive) are retained so -json can show them, but they do
+// not affect the exit status.
 type Finding struct {
-	Pos   token.Position
-	Check string
-	Msg   string
+	Pos        token.Position
+	Check      string
+	Msg        string
+	Suppressed bool
 }
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Msg)
 }
 
+// directive is one parsed //lint:ignore comment. used flips when a finding
+// matches it; directives still unused after every check has run are
+// themselves findings (staleignore).
+type directive struct {
+	pos   token.Pos
+	check string
+	used  bool
+}
+
 // reporter accumulates findings and applies per-line suppressions.
 type reporter struct {
 	fset     *token.FileSet
 	findings []Finding
-	// suppressed maps filename -> line -> set of check names ignored on
-	// that line (an ignore comment covers its own line and the next).
-	suppressed map[string]map[int]map[string]bool
+	// byLine maps filename -> line -> directives covering that line (an
+	// ignore comment covers its own line and the next).
+	byLine     map[string]map[int][]*directive
+	directives []*directive
 }
 
 func newReporter(fset *token.FileSet) *reporter {
-	return &reporter{fset: fset, suppressed: map[string]map[int]map[string]bool{}}
+	return &reporter{fset: fset, byLine: map[string]map[int][]*directive{}}
 }
 
-// add records a finding at pos unless a matching //lint:ignore covers it.
+// add records a finding at pos; a matching //lint:ignore marks it suppressed
+// (and the directive used) instead of dropping it.
 func (r *reporter) add(pos token.Pos, check, msg string) {
 	p := r.fset.Position(pos)
-	if lines, ok := r.suppressed[p.Filename]; ok {
-		if checks, ok := lines[p.Line]; ok && (checks[check] || checks["*"]) {
-			return
+	suppressed := false
+	for _, d := range r.byLine[p.Filename][p.Line] {
+		if d.check == check || d.check == "*" {
+			d.used = true
+			suppressed = true
 		}
 	}
-	r.findings = append(r.findings, Finding{Pos: p, Check: check, Msg: msg})
+	r.findings = append(r.findings, Finding{Pos: p, Check: check, Msg: msg, Suppressed: suppressed})
+}
+
+// reportStale turns every directive that matched no finding into a
+// staleignore finding. Call after all checks have run.
+func (r *reporter) reportStale() {
+	for _, d := range r.directives {
+		if !d.used {
+			r.add(d.pos, checkStaleIgnore,
+				fmt.Sprintf("//lint:ignore %s matches no finding; the code is clean, delete the directive", d.check))
+		}
+	}
 }
 
 // sorted returns the findings in file/line/column order.
 func (r *reporter) sorted() []Finding {
-	sort.Slice(r.findings, func(i, j int) bool {
+	sort.SliceStable(r.findings, func(i, j int) bool {
 		a, b := r.findings[i].Pos, r.findings[j].Pos
 		if a.Filename != b.Filename {
 			return a.Filename < b.Filename
@@ -108,16 +143,15 @@ func (r *reporter) collectSuppressions(file *ast.File) {
 					Msg: fmt.Sprintf("//lint:ignore names unknown check %q", check)})
 				continue
 			}
-			lines := r.suppressed[pos.Filename]
+			d := &directive{pos: c.Pos(), check: check}
+			r.directives = append(r.directives, d)
+			lines := r.byLine[pos.Filename]
 			if lines == nil {
-				lines = map[int]map[string]bool{}
-				r.suppressed[pos.Filename] = lines
+				lines = map[int][]*directive{}
+				r.byLine[pos.Filename] = lines
 			}
 			for _, line := range []int{pos.Line, pos.Line + 1} {
-				if lines[line] == nil {
-					lines[line] = map[string]bool{}
-				}
-				lines[line][check] = true
+				lines[line] = append(lines[line], d)
 			}
 		}
 	}
@@ -140,21 +174,37 @@ type config struct {
 	// simScope lists import-path substrings identifying simulator-core
 	// packages, where the nondeterminism check applies.
 	simScope []string
+	// unitScope identifies the orbit-math packages, where the unitsafety
+	// dataflow applies.
+	unitScope []string
+	// lockScope identifies the packages built around the event-loop/worker
+	// split, where the locksafety check applies.
+	lockScope []string
 }
 
-// lintPackage runs every check family over one loaded package.
-func lintPackage(p *pkg, cfg config, rep *reporter) {
-	for _, f := range p.files {
-		rep.collectSuppressions(f)
+// lintPackages runs every check family: per-package checks over the lint
+// targets, then the interprocedural families over the call graph built from
+// all loaded packages, then the stale-suppression sweep.
+func lintPackages(targets, all []*pkg, cg *callGraph, cfg config, rep *reporter) {
+	for _, p := range targets {
+		for _, f := range p.files {
+			rep.collectSuppressions(f)
+		}
 	}
-	checkNondeterminismPkg(p, cfg, rep)
-	checkTimeUnitsPkg(p, rep)
-	checkDroppedErrorPkg(p, rep)
-	checkCopyLockPkg(p, rep)
+	for _, p := range targets {
+		checkNondeterminismPkg(p, cfg, rep)
+		checkTimeUnitsPkg(p, rep)
+		checkDroppedErrorPkg(p, rep)
+		checkCopyLockPkg(p, rep)
+		checkLifecyclePkg(p, rep)
+	}
+	checkUnitSafetyPkgs(targets, all, cfg, rep)
+	checkLockSafetyPkgs(targets, cg, cfg, rep)
+	rep.reportStale()
 }
 
 // inSimScope reports whether the package's import path falls inside the
-// simulator core for the purposes of the nondeterminism check.
+// given scope list (substring match, as for all scope flags).
 func inSimScope(path string, scope []string) bool {
 	for _, s := range scope {
 		if s != "" && strings.Contains(path, s) {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -10,7 +12,14 @@ import (
 	"testing"
 )
 
-var fixtureScope = []string{"internal/sim", "internal/transport", "internal/routing"}
+// fixtureCfg mirrors the default scopes, rebased onto the fixture tree: the
+// fixture directories are named so their paths contain the same substrings
+// as the real packages each scoped check targets.
+var fixtureCfg = config{
+	simScope:  []string{"internal/sim", "internal/transport", "internal/routing"},
+	unitScope: []string{"internal/orbit", "internal/geom", "internal/tle"},
+	lockScope: []string{"internal/core"},
+}
 
 // loadExpectations scans the fixture tree for `// want <check>...` comments
 // and returns the expected findings keyed by "file:line".
@@ -48,12 +57,13 @@ func loadExpectations(t *testing.T, root string) map[string][]string {
 }
 
 // TestFixtures runs the analyzer over the fixture tree and requires the
-// findings to match the `// want` annotations exactly: every annotated line
-// must be flagged with the named check, and no unannotated line may be
-// flagged. This covers at least one positive and one negative case per
-// check family, plus the //lint:ignore suppression path.
+// unsuppressed findings to match the `// want` annotations exactly: every
+// annotated line must be flagged with the named check, and no unannotated
+// line may be flagged. Suppressed findings are excluded — the suppression
+// path is covered separately by TestSuppressionState. This covers at least
+// one positive and one negative case per check family.
 func TestFixtures(t *testing.T) {
-	findings, err := lint(".", []string{"./testdata/src/..."}, config{simScope: fixtureScope})
+	findings, err := lint(".", []string{"./testdata/src/..."}, fixtureCfg)
 	if err != nil {
 		t.Fatalf("lint: %v", err)
 	}
@@ -63,6 +73,9 @@ func TestFixtures(t *testing.T) {
 
 	got := map[string][]string{}
 	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
 		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
 		got[key] = append(got[key], f.Check)
 	}
@@ -87,18 +100,119 @@ func TestFixtures(t *testing.T) {
 	for _, f := range findings {
 		families[f.Check] = true
 	}
-	for _, name := range []string{checkNondeterminism, checkTimeUnits, checkDroppedError, checkCopyLock} {
+	for _, name := range []string{
+		checkNondeterminism, checkTimeUnits, checkDroppedError, checkCopyLock,
+		checkLifecycle, checkUnitSafety, checkLockSafety, checkStaleIgnore,
+	} {
 		if !families[name] {
 			t.Errorf("check family %q produced no findings on its fixtures", name)
 		}
 	}
 }
 
+// TestLifecycleFixtureFailsAlone pins the acceptance criterion that the
+// seeded use-after-Release fixture is caught when linted by itself, with the
+// real command-line entry point and default scopes.
+func TestLifecycleFixtureFailsAlone(t *testing.T) {
+	if code := run([]string{"./testdata/src/lifecycle"}); code != 1 {
+		t.Fatalf("run on lifecycle fixture = %d, want 1", code)
+	}
+	findings, err := lint(".", []string{"./testdata/src/lifecycle"}, fixtureCfg)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	counts := map[string]int{}
+	for _, f := range findings {
+		if !f.Suppressed {
+			counts[f.Check]++
+		}
+	}
+	if counts[checkLifecycle] < 4 {
+		t.Errorf("lifecycle findings = %d, want at least use-after-release, double-release, leak, and overwrite", counts[checkLifecycle])
+	}
+	if counts[checkStaleIgnore] != 1 {
+		t.Errorf("staleignore findings = %d, want exactly the planted stale directive", counts[checkStaleIgnore])
+	}
+}
+
+// TestSuppressionState verifies that a matched //lint:ignore keeps the
+// finding (marked suppressed, excluded from the exit status) and counts the
+// directive as used, while an unmatched directive becomes a staleignore
+// finding.
+func TestSuppressionState(t *testing.T) {
+	findings, err := lint(".", []string{"./testdata/src/lifecycle"}, fixtureCfg)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	var suppressed, stale int
+	for _, f := range findings {
+		if f.Suppressed {
+			if f.Check != checkLifecycle {
+				t.Errorf("suppressed finding of unexpected family %q", f.Check)
+			}
+			suppressed++
+		}
+		if f.Check == checkStaleIgnore {
+			stale++
+			if f.Suppressed {
+				t.Error("the stale-directive finding must not itself be suppressed")
+			}
+		}
+	}
+	if suppressed != 1 {
+		t.Errorf("suppressed findings = %d, want exactly the fixture's suppressed use-after-release", suppressed)
+	}
+	if stale != 1 {
+		t.Errorf("staleignore findings = %d, want exactly the planted stale directive", stale)
+	}
+}
+
+// TestJSONOutput round-trips the -json schema: an array of objects with
+// stable field names, including suppressed findings with their state.
+func TestJSONOutput(t *testing.T) {
+	findings, err := lint(".", []string{"./testdata/src/lifecycle"}, fixtureCfg)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, findings); err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+	var decoded []jsonFinding
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not a JSON array of findings: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != len(findings) {
+		t.Fatalf("decoded %d findings, want %d", len(decoded), len(findings))
+	}
+	var sawSuppressed bool
+	for i, d := range decoded {
+		if d.Check == "" || d.File == "" || d.Line == 0 || d.Message == "" {
+			t.Errorf("finding %d has empty fields: %+v", i, d)
+		}
+		sawSuppressed = sawSuppressed || d.Suppressed
+	}
+	if !sawSuppressed {
+		t.Error("JSON output must include suppressed findings with suppressed=true")
+	}
+	// An empty run must still print a JSON array for jq round-tripping.
+	buf.Reset()
+	if err := writeJSON(&buf, nil); err != nil {
+		t.Fatalf("writeJSON(nil): %v", err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty findings encode as %q, want []", got)
+	}
+}
+
 // TestRunExitCodes pins the command-line contract: findings exit 1, clean
-// runs exit 0, usage errors exit 2.
+// runs exit 0, usage errors exit 2 — in both text and JSON modes.
 func TestRunExitCodes(t *testing.T) {
 	if code := run([]string{"./testdata/src/..."}); code != 1 {
 		t.Errorf("run on fixtures = %d, want 1", code)
+	}
+	if code := run([]string{"-json", "./testdata/src/..."}); code != 1 {
+		t.Errorf("run -json on fixtures = %d, want 1", code)
 	}
 	if code := run([]string{"-list"}); code != 0 {
 		t.Errorf("run -list = %d, want 0", code)
@@ -135,7 +249,7 @@ func unknownDirective() {}
 	if err := os.WriteFile(filepath.Join(scratch, "scratch.go"), []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	findings, err := lint(".", []string{"./" + scratch}, config{simScope: fixtureScope})
+	findings, err := lint(".", []string{"./" + scratch}, fixtureCfg)
 	if err != nil {
 		t.Fatalf("lint: %v", err)
 	}

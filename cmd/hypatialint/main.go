@@ -13,16 +13,39 @@
 //	copylock        no by-value copies of sync primitives, sim.Simulator,
 //	                or the event heap
 //
+// On top of these per-statement rules sit three flow-sensitive families,
+// built on a per-function control-flow graph, a forward dataflow engine,
+// and a module-local call graph:
+//
+//	lifecycle       pooled routing.ForwardingTable values must not be used
+//	                after Release, released twice, or leaked on an
+//	                early-return path
+//	unitsafety      degrees/radians/meters/kilometers/seconds are tracked
+//	                through assignments and calls; mixing units or passing
+//	                one where another is expected is a finding
+//	locksafety      a struct field accessed on both sides of a go statement
+//	                must be written under a held lock, handed off on a
+//	                channel, or written only before the launch
+//	staleignore     a //lint:ignore directive that no longer matches any
+//	                finding is itself reported, so suppressions cannot
+//	                outlive the code they excused
+//
 // Usage:
 //
 //	go run ./cmd/hypatialint ./...
 //	go run ./cmd/hypatialint -list
+//	go run ./cmd/hypatialint -json ./... | jq .
 //	go run ./cmd/hypatialint -simscope internal/sim,internal/engine ./...
 //
 // A finding can be suppressed for one line with a directive comment on the
 // same line or the line above, naming the check and giving a reason:
 //
 //	//lint:ignore timeunits Seconds is the one sanctioned conversion
+//
+// With -json the tool prints every finding — suppressed ones included, with
+// their suppression state — as a JSON array of objects with fields check,
+// file, line, col, message, suppressed. The exit status in both modes
+// reflects unsuppressed findings only.
 //
 // The tool is built only on go/parser, go/ast, and go/types: module-local
 // imports resolve against the module tree, the standard library through the
@@ -31,9 +54,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strings"
 )
 
@@ -44,8 +70,13 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("hypatialint", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
-	simScope := fs.String("simscope", "internal/sim,internal/transport,internal/routing",
+	simScope := fs.String("simscope", "internal/sim,internal/transport,internal/routing,internal/core",
 		"comma-separated import-path substrings identifying simulator-core packages (scope of the nondeterminism check)")
+	unitScope := fs.String("unitscope", "internal/orbit,internal/geom,internal/tle",
+		"comma-separated import-path substrings identifying orbit-math packages (scope of the unitsafety check)")
+	lockScope := fs.String("lockscope", "internal/core",
+		"comma-separated import-path substrings identifying event-loop/worker packages (scope of the locksafety check)")
+	jsonOut := fs.Bool("json", false, "print findings as a JSON array (includes suppressed findings with their state)")
 	list := fs.Bool("list", false, "list the checks and exit")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: hypatialint [flags] [packages]")
@@ -66,23 +97,71 @@ func run(args []string) int {
 		patterns = []string{"./..."}
 	}
 
-	findings, err := lint(".", patterns, config{simScope: splitList(*simScope)})
+	cfg := config{
+		simScope:  splitList(*simScope),
+		unitScope: splitList(*unitScope),
+		lockScope: splitList(*lockScope),
+	}
+	findings, err := lint(".", patterns, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hypatialint:", err)
 		return 2
 	}
+	unsuppressed := 0
 	for _, f := range findings {
-		fmt.Println(f)
+		if !f.Suppressed {
+			unsuppressed++
+		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "hypatialint: %d finding(s)\n", len(findings))
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "hypatialint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			if !f.Suppressed {
+				fmt.Println(f)
+			}
+		}
+	}
+	if unsuppressed > 0 {
+		fmt.Fprintf(os.Stderr, "hypatialint: %d finding(s)\n", unsuppressed)
 		return 1
 	}
 	return 0
 }
 
-// lint loads every package matched by patterns (resolved relative to dir)
-// and returns the sorted findings.
+// jsonFinding is the stable -json schema for one finding.
+type jsonFinding struct {
+	Check      string `json:"check"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+func writeJSON(w io.Writer, findings []Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			Check:      f.Check,
+			File:       f.Pos.Filename,
+			Line:       f.Pos.Line,
+			Col:        f.Pos.Column,
+			Message:    f.Msg,
+			Suppressed: f.Suppressed,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// lint loads every package matched by patterns (resolved relative to dir),
+// builds the module-local call graph over everything the loader pulled in,
+// and returns the sorted findings (suppressed ones included).
 func lint(dir string, patterns []string, cfg config) ([]Finding, error) {
 	l, err := newLoader(dir)
 	if err != nil {
@@ -95,7 +174,7 @@ func lint(dir string, patterns []string, cfg config) ([]Finding, error) {
 	if len(dirs) == 0 {
 		return nil, fmt.Errorf("no packages match %v", patterns)
 	}
-	rep := newReporter(l.fset)
+	var targets []*pkg
 	for _, d := range dirs {
 		path, err := l.importPath(d)
 		if err != nil {
@@ -105,8 +184,19 @@ func lint(dir string, patterns []string, cfg config) ([]Finding, error) {
 		if err != nil {
 			return nil, fmt.Errorf("loading %s: %w", path, err)
 		}
-		lintPackage(p, cfg, rep)
+		targets = append(targets, p)
 	}
+	// The call graph and unit summaries cover every loaded module-local
+	// package — targets plus dependencies — so interprocedural facts do not
+	// stop at the lint-target boundary.
+	var all []*pkg
+	for _, p := range l.cache {
+		all = append(all, p)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].path < all[j].path })
+	cg := buildCallGraph(all)
+	rep := newReporter(l.fset)
+	lintPackages(targets, all, cg, cfg, rep)
 	return rep.sorted(), nil
 }
 

@@ -1,0 +1,56 @@
+// Package corefix is a hypatialint fixture for the locksafety check. Its
+// directory path contains "internal/core", putting it inside the default
+// lock scope. newServer launches run as a goroutine, so run (and everything
+// it calls) is the goroutine side; newServer and poke are the event-loop
+// side. Fields touched by both sides must be written under the mutex, be
+// self-synchronizing (channel, atomic), or be written only before launch.
+// Lines carrying a "want locksafety" trailing comment must be flagged;
+// unmarked lines must not be.
+package corefix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type server struct {
+	mu       sync.Mutex
+	guarded  int // written under mu on both sides: clean
+	racy     int // written bare on both sides: flagged
+	pre      int // written only before the go statement: clean
+	ch       chan int
+	cnt      atomic.Int64
+	loopOnly int // never touched by the goroutine: clean
+}
+
+func newServer() *server {
+	s := &server{ch: make(chan int)}
+	s.pre = 1
+	go s.run()
+	return s
+}
+
+// run is the goroutine side.
+func (s *server) run() {
+	for v := range s.ch {
+		s.mu.Lock()
+		s.guarded += v
+		s.mu.Unlock()
+		s.racy++ // want locksafety
+		s.cnt.Add(1)
+		_ = s.pre
+	}
+}
+
+// poke is the event-loop side.
+func (s *server) poke(v int) {
+	s.ch <- v
+	s.mu.Lock()
+	s.guarded++
+	s.mu.Unlock()
+	s.racy = 0 // want locksafety
+	s.loopOnly++
+}
+
+var _ = newServer
+var _ = (*server).poke

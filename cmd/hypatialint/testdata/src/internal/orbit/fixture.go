@@ -1,0 +1,60 @@
+// Package orbitfix is a hypatialint fixture for the unitsafety check. Its
+// directory path contains "internal/orbit", putting it inside the default
+// unit scope; field names from the known-unit table (MeanAnomaly) resolve
+// against this path too. Lines carrying a "want unitsafety" trailing
+// comment must be flagged; unmarked lines must not be.
+package orbitfix
+
+import (
+	"math"
+
+	"hypatia/internal/geom"
+)
+
+// localSin never states a unit, but its parameter flows into a math.Sin
+// sink, so the checker infers a radians expectation and flags callers that
+// pass degrees — the interprocedural half of the check.
+func localSin(angle float64) float64 {
+	return math.Sin(angle)
+}
+
+// Bad exercises the intraprocedural positives.
+func Bad(latDeg, lonRad float64) {
+	_ = math.Sin(latDeg) // want unitsafety
+	_ = geom.Rad(lonRad) // want unitsafety
+	_ = latDeg + lonRad  // want unitsafety
+	_ = localSin(latDeg) // want unitsafety
+}
+
+// BadCompare mixes units across a comparison.
+func BadCompare(elevRad, minElDeg float64) bool {
+	return elevRad > minElDeg // want unitsafety
+}
+
+type elementsFix struct {
+	MeanAnomaly float64 // radians, per the known-unit field table
+}
+
+// BadFieldStore stores degrees into a field documented as radians.
+func BadFieldStore(mDeg float64) elementsFix {
+	return elementsFix{MeanAnomaly: mDeg} // want unitsafety
+}
+
+// BadLLA stores an unconverted latitude into geom.LLA.Lat (radians).
+func BadLLA(latDeg, lonDeg float64) geom.LLA {
+	return geom.LLA{Lat: latDeg, Lon: geom.Rad(lonDeg), Alt: 0} // want unitsafety
+}
+
+// Good shows the sanctioned patterns: convert before the sink, constant
+// scaling keeps the unit without flagging, and a manual conversion by
+// pi/180 makes the checker forget rather than misfire.
+func Good(latDeg, lonRad float64) {
+	_ = math.Sin(geom.Rad(latDeg))
+	half := lonRad / 2
+	_ = math.Sin(half)
+	manual := latDeg * math.Pi / 180
+	_ = math.Sin(manual)
+	_ = geom.Deg(lonRad)
+	_ = localSin(geom.Rad(latDeg))
+	_ = math.Atan2(1, 2) + lonRad
+}

@@ -1,0 +1,104 @@
+// Package lifecyclefix is a hypatialint fixture for the flow-sensitive
+// lifecycle check. Lines carrying a "want lifecycle" trailing comment must
+// be flagged; unmarked lines must not be. The Good* functions cover every
+// sanctioned way a pooled table may leave a function's accounting: released
+// on all paths, released via defer, returned, stored, or captured.
+package lifecyclefix
+
+import (
+	"errors"
+
+	"hypatia/internal/routing"
+)
+
+// UseAfterRelease reads a table whose arena may already be reissued.
+func UseAfterRelease(pool *routing.TablePool) int32 {
+	ft := pool.Empty(0, 4, 2)
+	ft.Release()
+	return ft.NextHop(0, 1) // want lifecycle
+}
+
+// DoubleRelease returns the same buffer to the pool twice.
+func DoubleRelease(pool *routing.TablePool) {
+	ft := pool.Empty(0, 4, 2)
+	ft.Release()
+	ft.Release() // want lifecycle
+}
+
+// LeakOnEarlyReturn forgets the table on the error path; the finding points
+// at the acquisition site.
+func LeakOnEarlyReturn(pool *routing.TablePool, bad bool) error {
+	ft := pool.Empty(0, 4, 2) // want lifecycle
+	if bad {
+		return errors.New("early exit leaks ft")
+	}
+	ft.Release()
+	return nil
+}
+
+// OverwriteWhileLive drops the only reference to a live table.
+func OverwriteWhileLive(pool *routing.TablePool) {
+	ft := pool.Empty(0, 4, 2)
+	ft = pool.Empty(1, 4, 2) // want lifecycle
+	ft.Release()
+}
+
+// SuppressedUseAfterRelease shows the sanctioned escape hatch: the finding
+// is still produced but marked suppressed, and the directive counts as used.
+func SuppressedUseAfterRelease(pool *routing.TablePool) {
+	ft := pool.Empty(0, 4, 2)
+	ft.Release()
+	_ = ft.NextHop(0, 0) //lint:ignore lifecycle fixture demonstrating suppression
+}
+
+//lint:ignore lifecycle nothing on the next line is a finding, so this directive is stale // want staleignore
+var fixtureVersion = 1
+
+// GoodReleaseAllPaths releases the table on every path out of the function.
+func GoodReleaseAllPaths(pool *routing.TablePool, early bool) {
+	ft := pool.Empty(0, 4, 2)
+	if early {
+		ft.Release()
+		return
+	}
+	_ = ft.NextHop(0, 0)
+	ft.Release()
+}
+
+// GoodDeferRelease covers the early return with a deferred Release.
+func GoodDeferRelease(pool *routing.TablePool, early bool) int32 {
+	ft := pool.Empty(0, 4, 2)
+	defer ft.Release()
+	if early {
+		return -1
+	}
+	return ft.NextHop(0, 0)
+}
+
+// GoodEscapeReturn hands ownership to the caller.
+func GoodEscapeReturn(pool *routing.TablePool) *routing.ForwardingTable {
+	ft := pool.Empty(0, 4, 2)
+	return ft
+}
+
+type holder struct{ ft *routing.ForwardingTable }
+
+// GoodStoreEscapes hands ownership to a container.
+func GoodStoreEscapes(pool *routing.TablePool, h *holder) {
+	ft := pool.Empty(0, 4, 2)
+	h.ft = ft
+}
+
+// GoodClosureCapture hands ownership to a closure.
+func GoodClosureCapture(pool *routing.TablePool) func() {
+	ft := pool.Empty(0, 4, 2)
+	return func() { ft.Release() }
+}
+
+// GoodAlias transfers the state to the new name; releasing through the alias
+// satisfies the original.
+func GoodAlias(pool *routing.TablePool) {
+	ft := pool.Empty(0, 4, 2)
+	alias := ft
+	alias.Release()
+}

@@ -342,12 +342,20 @@ func (p *TablePool) Empty(t float64, numNodes, numGS int) *ForwardingTable {
 }
 
 // Release marks the table dead and, when it came from a TablePool, returns
-// its buffer for reuse. Safe on nil tables and idempotent; a no-op (beyond
-// the dead mark) for tables allocated outside a pool. Callers must not
-// touch the table afterwards — the hypatia_checks build turns such use into
-// a panic.
+// its buffer for reuse. Safe on nil tables; a no-op (beyond the dead mark)
+// for tables allocated outside a pool. Callers must not touch the table
+// afterwards — the hypatia_checks build turns such use, and a second
+// Release, into a panic, since a double Release would let the pool hand the
+// same buffer to two owners at once. Unchecked builds silently tolerate the
+// repeat.
 func (ft *ForwardingTable) Release() {
-	if ft == nil || ft.released {
+	if ft == nil {
+		return
+	}
+	if ft.released {
+		if check.Enabled {
+			check.Failf("double Release of forwarding table t=%v: the pool could reissue its buffer twice", ft.T)
+		}
 		return
 	}
 	ft.released = true

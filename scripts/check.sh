@@ -27,6 +27,9 @@ go build -tags hypatia_checks ./...
 echo "== hypatialint =="
 go run ./cmd/hypatialint ./...
 
+echo "== hypatialint -json (machine-readable output stays well-formed) =="
+go run ./cmd/hypatialint -json ./... > /dev/null
+
 echo "== hypatialint self-check (fixtures must fail) =="
 if go run ./cmd/hypatialint ./cmd/hypatialint/testdata/src/... >/dev/null; then
     echo "hypatialint reported the fixture tree clean; the analyzer is broken" >&2
