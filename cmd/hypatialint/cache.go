@@ -1,0 +1,274 @@
+package main
+
+// The on-disk fact cache. One JSON entry per lint-target package, keyed by
+// a hash that pins everything a package's findings are a function of: the
+// analyzer schema, the Go toolchain, the linter configuration, the
+// package's own file contents, and — transitively, through the dependency
+// keys — the contents of every module-local package it imports. That the
+// findings really are such a function is the cache-coherence invariant the
+// checks maintain: every finding is reported at a position inside the
+// package under analysis, mutable-global classification is
+// defining-package-only, and implementer obligations land in the
+// implementer's package.
+//
+// Entries store findings with module-root-relative paths (re-absolutized
+// on read) in the globally sorted order the cold run produced, so a warm
+// assembly of cached entries is byte-identical to the cold output.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// hashf writes formatted data into a hash; hash writes cannot fail.
+func hashf(h io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(h, format, args...)
+}
+
+// cacheSchema versions the entry format and the analyzer itself: bump it
+// whenever a check's behavior changes, so stale entries self-invalidate.
+const cacheSchema = 1
+
+// pkgMeta is the cheap, imports-only view of one package directory used
+// for cache keying and load scheduling — no type-checking involved.
+type pkgMeta struct {
+	path        string   // import path
+	dir         string   // absolute directory
+	contentHash string   // hash of the build-selected source files
+	deps        []string // module-local imports, sorted
+}
+
+// scanMeta parses a package directory in imports-only mode, applying the
+// same file selection as the full loader (non-test files passing the
+// default build configuration).
+func scanMeta(l *loader, path, dir string) (*pkgMeta, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") ||
+			strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%s: no Go files", dir)
+	}
+	h := sha256.New()
+	deps := map[string]bool{}
+	fset := token.NewFileSet()
+	any := false
+	for _, n := range names {
+		src, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, n, src, parser.ImportsOnly|parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if !buildTagsMatch(f) {
+			continue
+		}
+		any = true
+		hashf(h, "file %s %d\n", n, len(src))
+		_, _ = h.Write(src)
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if p == l.module || strings.HasPrefix(p, l.module+"/") {
+				deps[p] = true
+			}
+		}
+	}
+	if !any {
+		return nil, fmt.Errorf("%s: no Go files match the build configuration", dir)
+	}
+	m := &pkgMeta{path: path, dir: dir, contentHash: hex.EncodeToString(h.Sum(nil))}
+	for d := range deps {
+		if d != path {
+			m.deps = append(m.deps, d)
+		}
+	}
+	sort.Strings(m.deps)
+	return m, nil
+}
+
+// discoverMetas scans the lint targets and their transitive module-local
+// imports, returning the metadata closure the keyer and the parallel
+// loader both run on.
+func discoverMetas(l *loader, targetPaths []string) (map[string]*pkgMeta, error) {
+	metas := map[string]*pkgMeta{}
+	var visit func(path string) error
+	visit = func(path string) error {
+		if _, ok := metas[path]; ok {
+			return nil
+		}
+		dir := filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.module), "/")))
+		m, err := scanMeta(l, path, dir)
+		if err != nil {
+			return err
+		}
+		metas[path] = m
+		for _, d := range m.deps {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, tp := range targetPaths {
+		if err := visit(tp); err != nil {
+			return nil, err
+		}
+	}
+	return metas, nil
+}
+
+// configHash folds everything about the invocation (other than the source
+// tree) that findings depend on into one string.
+func configHash(cfg config) string {
+	h := sha256.New()
+	hashf(h, "schema %d\ngo %s\nmodule %s\n", cacheSchema, runtime.Version(), cfg.module)
+	for _, scope := range [][]string{cfg.simScope, cfg.unitScope, cfg.lockScope, cfg.pureScope} {
+		hashf(h, "scope %s\n", strings.Join(scope, ","))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// computeKeys derives every package's cache key bottom-up over the import
+// DAG: a package's key covers its own content and its dependencies' keys,
+// so editing a package invalidates every dependent.
+func computeKeys(metas map[string]*pkgMeta, cfgHash string) map[string]string {
+	keys := map[string]string{}
+	var keyOf func(path string) string
+	keyOf = func(path string) string {
+		if k, ok := keys[path]; ok {
+			return k
+		}
+		m := metas[path]
+		h := sha256.New()
+		hashf(h, "cfg %s\npkg %s\ncontent %s\n", cfgHash, path, m.contentHash)
+		for _, d := range m.deps {
+			hashf(h, "dep %s %s\n", d, keyOf(d))
+		}
+		k := hex.EncodeToString(h.Sum(nil))
+		keys[path] = k
+		return k
+	}
+	for path := range metas {
+		keyOf(path)
+	}
+	return keys
+}
+
+// cachedFinding is one finding with its file path relative to the module
+// root, so entries survive a checkout moving on disk.
+type cachedFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Check      string `json:"check"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// cacheEntry is the on-disk record for one package.
+type cacheEntry struct {
+	Schema   int                 `json:"schema"`
+	Key      string              `json:"key"`
+	Package  string              `json:"package"`
+	Findings []cachedFinding     `json:"findings"`
+	Effects  map[string][]string `json:"effects,omitempty"`
+}
+
+// entryFile maps an import path to its entry file name.
+func entryFile(cacheDir, path string) string {
+	return filepath.Join(cacheDir, strings.ReplaceAll(path, "/", "__")+".json")
+}
+
+// readCacheEntry returns the cached findings for path if a valid entry
+// with the expected key exists; any mismatch or decode failure is a miss.
+func readCacheEntry(cacheDir, path, key, root string) ([]Finding, bool) {
+	data, err := os.ReadFile(entryFile(cacheDir, path))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil || e.Schema != cacheSchema || e.Key != key || e.Package != path {
+		return nil, false
+	}
+	findings := make([]Finding, 0, len(e.Findings))
+	for _, f := range e.Findings {
+		findings = append(findings, Finding{
+			Pos: token.Position{
+				Filename: filepath.Join(root, filepath.FromSlash(f.File)),
+				Line:     f.Line,
+				Column:   f.Col,
+			},
+			Check:      f.Check,
+			Msg:        f.Message,
+			Suppressed: f.Suppressed,
+		})
+	}
+	return findings, true
+}
+
+// writeCacheEntry persists one package's findings (already in their final
+// sorted order) and effect summaries, atomically via temp file + rename.
+func writeCacheEntry(cacheDir, path, key, root string, findings []Finding, effects map[string][]string) error {
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return err
+	}
+	e := cacheEntry{Schema: cacheSchema, Key: key, Package: path, Effects: effects}
+	for _, f := range findings {
+		rel, err := filepath.Rel(root, f.Pos.Filename)
+		if err != nil {
+			return err
+		}
+		e.Findings = append(e.Findings, cachedFinding{
+			File:       filepath.ToSlash(rel),
+			Line:       f.Pos.Line,
+			Col:        f.Pos.Column,
+			Check:      f.Check,
+			Message:    f.Msg,
+			Suppressed: f.Suppressed,
+		})
+	}
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(cacheDir, ".entry-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), entryFile(cacheDir, path))
+}

@@ -1,0 +1,283 @@
+package main
+
+// The purity check turns //hypatia:pure into a verified contract. Three
+// rule groups, all reporting inside the package under analysis so findings
+// stay a function of that package plus its dependencies (the property the
+// fact cache keys on):
+//
+//  1. Contract verification: an annotated function whose effect summary
+//     contains any impure bit is a finding at its declaration, naming the
+//     first offending effect and the full call chain down to it.
+//
+//  2. Contract closure: an annotated function may only make static
+//     module-local calls to other annotated functions. Function literals
+//     are exempt (their effects fold into the definer and are caught by
+//     rule 1); dynamic calls must go through a //hypatia:pure-annotated
+//     named function type or they surface as unknown-call effects under
+//     rule 1. Together with rule 3 this gives induction: everything
+//     reachable from the pipeline's worker bodies carries — and passes —
+//     the contract.
+//
+//  3. Roots: inside -purescope packages (default internal/core), every
+//     goroutine body is treated as a pipeline worker. Its own body may use
+//     channels, spawn further goroutines, and fill caller-owned arenas —
+//     that is how the pipeline communicates — but may not touch globals,
+//     the wall clock, randomness, IO, or map iteration order, and every
+//     module-local function it calls must be annotated.
+//
+// Misplaced or unknown //hypatia: comments are reported under the
+// directive check, like malformed //lint: comments.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// checkPurityPkgs runs the purity check over the lint targets, using effect
+// summaries computed over every loaded package. It returns the analysis so
+// the driver can persist per-package effect facts.
+func checkPurityPkgs(targets, all []*pkg, cg *callGraph, cfg config, rep *reporter) *effectAnalysis {
+	an := analyzeEffects(all, cg, cfg.module)
+	for _, p := range targets {
+		pc := &purityChecker{an: an, p: p, rep: rep}
+		pc.checkDirectiveComments()
+		pc.checkAnnotated()
+		pc.checkImplementers()
+		if inSimScope(p.path, cfg.pureScope) {
+			pc.checkRoots()
+		}
+	}
+	return an
+}
+
+type purityChecker struct {
+	an  *effectAnalysis
+	p   *pkg
+	rep *reporter
+}
+
+// checkDirectiveComments flags //hypatia: comments that are malformed or
+// placed where the analysis ignores them.
+func (pc *purityChecker) checkDirectiveComments() {
+	for _, f := range pc.p.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//hypatia:")
+				if !ok {
+					continue
+				}
+				verb := rest
+				if i := strings.IndexByte(verb, ' '); i >= 0 {
+					verb = verb[:i]
+				}
+				if verb != "pure" {
+					pc.rep.add(c.Pos(), checkDirective,
+						fmt.Sprintf("unknown //hypatia: directive %q (only //hypatia:pure is supported)", "hypatia:"+verb))
+					continue
+				}
+				if !pc.an.honored[c.Pos()] {
+					pc.rep.add(c.Pos(), checkDirective,
+						"//hypatia:pure has no effect here; it belongs in the doc comment of a function or a named function type")
+				}
+			}
+		}
+	}
+}
+
+// checkAnnotated applies rules 1 and 2 to the annotated functions declared
+// in this package.
+func (pc *purityChecker) checkAnnotated() {
+	for _, k := range pc.an.cg.funcsIn[pc.p] {
+		fn, ok := k.(*types.Func)
+		if !ok || !pc.an.pureFns[fn] {
+			continue
+		}
+		decl := pc.an.cg.declOf[fn]
+		if decl == nil {
+			continue
+		}
+		name := pc.an.nodeName(fn)
+		if sum := pc.an.summaries[k]; sum != nil {
+			if o, impure := sum.witness(); impure {
+				pc.rep.add(decl.Name.Pos(), checkPurity,
+					fmt.Sprintf("%s is marked //hypatia:pure but %s", name, o.describe(name)))
+			}
+		}
+		pc.checkCalleesAnnotated(k, decl.Body, name)
+	}
+}
+
+// checkCalleesAnnotated enforces rule 2 over one node's body and its
+// plainly defined literals: every static module-local callee must itself
+// carry the directive.
+func (pc *purityChecker) checkCalleesAnnotated(k cgKey, body *ast.BlockStmt, owner string) {
+	bodyInspect(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		callee := resolveCallee(pc.p.info, call)
+		if callee == nil || pc.an.pureFns[callee] {
+			return
+		}
+		if _, hasBody := pc.an.cg.body[callee]; !hasBody {
+			return // interface/stdlib: rule 1 handles it via the summary
+		}
+		pc.rep.add(call.Pos(), checkPurity,
+			fmt.Sprintf("%s calls %s, which is not marked //hypatia:pure; annotate it (and fix what the analysis finds) or drop the contract", owner, pc.an.nodeName(callee)))
+	})
+	for _, e := range pc.an.cg.edges[k] {
+		lit, isLit := e.callee.(*ast.FuncLit)
+		if isLit && !e.viaGo {
+			pc.checkCalleesAnnotated(lit, lit.Body, owner)
+		}
+	}
+}
+
+// checkImplementers enforces the honesty side of //hypatia:pure interfaces:
+// calls through such an interface are trusted, so every module-local type
+// that satisfies one must carry the annotation on the methods it declares
+// here. (A type satisfying a pure interface declared downstream of its own
+// package is invisible from here — the documented structural-typing gap.)
+func (pc *purityChecker) checkImplementers() {
+	scope := pc.p.types.Scope()
+	reported := map[*types.Func]bool{}
+	for _, tname := range scope.Names() {
+		tn, ok := scope.Lookup(tname).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		if _, isIface := tn.Type().Underlying().(*types.Interface); isIface {
+			continue
+		}
+		for _, itn := range pc.an.pureIfaceList {
+			iface, ok := itn.Type().Underlying().(*types.Interface)
+			if !ok {
+				continue
+			}
+			ptr := types.NewPointer(tn.Type())
+			if !types.Implements(tn.Type(), iface) && !types.Implements(ptr, iface) {
+				continue
+			}
+			for i := 0; i < iface.NumMethods(); i++ {
+				m := iface.Method(i)
+				obj, _, _ := types.LookupFieldOrMethod(ptr, true, m.Pkg(), m.Name())
+				impl, ok := obj.(*types.Func)
+				if !ok || pc.an.pureFns[impl] || reported[impl] {
+					continue
+				}
+				decl := pc.an.cg.declOf[impl]
+				if decl == nil || pc.an.cg.pkgOf[impl] != pc.p {
+					continue // promoted from elsewhere; checked in its own package
+				}
+				reported[impl] = true
+				pc.rep.add(decl.Name.Pos(), checkPurity,
+					fmt.Sprintf("%s satisfies //hypatia:pure interface %s.%s; mark %s //hypatia:pure (calls through the interface are trusted)",
+						tn.Name(), itn.Pkg().Name(), itn.Name(), m.Name()))
+			}
+		}
+	}
+}
+
+// rootAllowed are the effects a pipeline goroutine body may have beyond
+// what an annotated function may: it communicates over channels, spawns
+// sub-workers, and fills arenas handed to it.
+const rootAllowed = effChan | effSpawn | effMutatesPointee
+
+// checkRoots applies rule 3: discover every goroutine launch in this
+// package and hold the launched body to the worker contract.
+func (pc *purityChecker) checkRoots() {
+	seen := map[cgKey]bool{}
+	for _, k := range pc.an.cg.funcsIn[pc.p] {
+		body := pc.an.cg.body[k]
+		if body == nil {
+			continue
+		}
+		bodyInspect(body, func(n ast.Node) {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return
+			}
+			pc.checkRoot(g, seen)
+		})
+	}
+}
+
+func (pc *purityChecker) checkRoot(g *ast.GoStmt, seen map[cgKey]bool) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		pc.scanRootBody(lit, seen)
+		return
+	}
+	callee := resolveCallee(pc.p.info, g.Call)
+	if callee == nil {
+		pc.rep.add(g.Pos(), checkPurity,
+			"goroutine launched through a dynamic call; its body cannot be held to the worker purity contract")
+		return
+	}
+	if body := pc.an.cg.body[callee]; body != nil && pc.an.cg.pkgOf[callee] == pc.p {
+		pc.scanRootBody(callee, seen)
+		return
+	}
+	// Launched function lives outside this package (or has no body): the
+	// contract must travel with it as an annotation checked over there.
+	if !pc.an.pureFns[callee] {
+		pc.rep.add(g.Pos(), checkPurity,
+			fmt.Sprintf("launches %s, which is defined outside this package and not marked //hypatia:pure", pc.an.nodeName(callee)))
+	}
+}
+
+// scanRootBody re-scans one goroutine body (and the literals it defines)
+// with annotated callees trusted, then reports every effect outside the
+// worker allowance, plus unannotated module-local callees.
+func (pc *purityChecker) scanRootBody(k cgKey, seen map[cgKey]bool) {
+	if seen[k] {
+		return
+	}
+	seen[k] = true
+	body := pc.an.cg.body[k]
+	if body == nil {
+		return
+	}
+	name := pc.an.nodeName(k)
+	fs := &funcScan{an: pc.an, p: pc.p, body: body, sum: &funcSummary{}, trustPure: true}
+	fs.initParams(k)
+	fs.solveTaint()
+	fs.walk()
+	for _, en := range effectNames {
+		if en.bit&effImpure == 0 || en.bit&rootAllowed != 0 || fs.sum.mask&en.bit == 0 {
+			continue
+		}
+		o := fs.sum.origins[en.bit]
+		pos := o.pos
+		if !pos.IsValid() {
+			pos = body.Pos()
+		}
+		pc.rep.add(pos, checkPurity,
+			fmt.Sprintf("pipeline goroutine %s must stay pure but %s", name, o.describe(name)))
+	}
+	bodyInspect(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		callee := resolveCallee(pc.p.info, call)
+		if callee == nil || pc.an.pureFns[callee] {
+			return
+		}
+		if _, hasBody := pc.an.cg.body[callee]; !hasBody {
+			return
+		}
+		pc.rep.add(call.Pos(), checkPurity,
+			fmt.Sprintf("pipeline goroutine %s calls %s, which is not marked //hypatia:pure", name, pc.an.nodeName(callee)))
+	})
+	for _, e := range pc.an.cg.edges[k] {
+		if lit, isLit := e.callee.(*ast.FuncLit); isLit {
+			// Plainly defined literals run on this frame; go-launched ones
+			// are workers in their own right. Either way the contract
+			// applies.
+			pc.scanRootBody(lit, seen)
+		}
+	}
+}

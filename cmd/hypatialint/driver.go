@@ -1,0 +1,192 @@
+package main
+
+// The cached, parallel lint driver behind the command line. A run has
+// three phases:
+//
+//  1. Discovery: an imports-only parse of the lint targets and their
+//     transitive module-local imports (no type-checking) yields the import
+//     DAG, per-package content hashes, and from those the cache keys.
+//
+//  2. Cache probe: every target whose entry under -cache matches its key
+//     contributes its findings verbatim. If all targets hit, the run ends
+//     here — no package is parsed beyond its import clause.
+//
+//  3. Load and analyze: on any miss the full package set is type-checked —
+//     in parallel along the import DAG, a package starting as soon as its
+//     dependencies are done — and only the missed targets are re-analyzed;
+//     their refreshed entries are written back.
+//
+// The test-facing lint() entry point stays serial and uncached so test
+// behavior is independent of cache state.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// lintDriver resolves patterns, consults the fact cache, and runs the
+// parallel load/analyze pipeline for whatever missed.
+func lintDriver(dir string, patterns []string, cfg config, cacheDir string, useCache bool) ([]Finding, error) {
+	l, err := newLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	if cacheDir == "" {
+		cacheDir = filepath.Join(l.root, ".hypatialint-cache")
+	}
+	dirs, err := expandPatterns(l, patterns)
+	if err != nil {
+		return nil, err
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("no packages match %v", patterns)
+	}
+	var targetPaths []string
+	seen := map[string]bool{}
+	for _, d := range dirs {
+		path, err := l.importPath(d)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[path] {
+			seen[path] = true
+			targetPaths = append(targetPaths, path)
+		}
+	}
+	cfg.module = l.module
+
+	metas, err := discoverMetas(l, targetPaths)
+	if err != nil {
+		return nil, err
+	}
+	keys := computeKeys(metas, configHash(cfg))
+
+	var findings []Finding
+	missPaths := targetPaths
+	if useCache {
+		missPaths = nil
+		for _, tp := range targetPaths {
+			if cached, ok := readCacheEntry(cacheDir, tp, keys[tp], l.root); ok {
+				findings = append(findings, cached...)
+			} else {
+				missPaths = append(missPaths, tp)
+			}
+		}
+	}
+	if len(missPaths) > 0 {
+		if err := l.loadAll(metas); err != nil {
+			return nil, err
+		}
+		var targets []*pkg
+		for _, tp := range missPaths {
+			targets = append(targets, l.cache[tp])
+		}
+		fresh, an := analyzeTargets(l, targets, cfg)
+		if useCache {
+			for _, p := range targets {
+				var own []Finding
+				for _, f := range fresh {
+					if filepath.Dir(f.Pos.Filename) == p.dir {
+						own = append(own, f)
+					}
+				}
+				if err := writeCacheEntry(cacheDir, p.path, keys[p.path], l.root, own, an.serializableEffects(p)); err != nil {
+					fmt.Fprintf(os.Stderr, "hypatialint: cache write for %s: %v\n", p.path, err)
+				}
+			}
+		}
+		findings = append(findings, fresh...)
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// loadAll type-checks every discovered package, in parallel along the
+// import DAG: each package waits for its module-local dependencies, then
+// runs under a GOMAXPROCS-wide semaphore. The one shared mutable resource
+// — the GOROOT source importer — is serialized behind its own mutex (it
+// memoizes, so each standard-library package is still checked once).
+func (l *loader) loadAll(metas map[string]*pkgMeta) error {
+	paths := make([]string, 0, len(metas))
+	for p := range metas {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	// Import cycles would deadlock the dependency waits below; Go forbids
+	// them, so reject broken input up front.
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var check func(p string) error
+	check = func(p string) error {
+		switch state[p] {
+		case 1:
+			return fmt.Errorf("import cycle through %s", p)
+		case 2:
+			return nil
+		}
+		state[p] = 1
+		for _, d := range metas[p].deps {
+			if err := check(d); err != nil {
+				return err
+			}
+		}
+		state[p] = 2
+		return nil
+	}
+	for _, p := range paths {
+		if err := check(p); err != nil {
+			return err
+		}
+	}
+
+	l.parallel = true
+	defer func() { l.parallel = false }()
+	done := make(map[string]chan struct{}, len(paths))
+	errOf := make(map[string]*error, len(paths))
+	for _, p := range paths {
+		done[p] = make(chan struct{})
+		errOf[p] = new(error)
+	}
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, p := range paths {
+		go func(path string) {
+			defer close(done[path])
+			m := metas[path]
+			for _, d := range m.deps {
+				<-done[d]
+				if *errOf[d] != nil {
+					*errOf[path] = fmt.Errorf("%s: %w", path, *errOf[d])
+					return
+				}
+			}
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			l.mu.Lock()
+			_, loaded := l.cache[path]
+			l.mu.Unlock()
+			if loaded {
+				return
+			}
+			pk, err := l.loadDir(path, m.dir)
+			if err != nil {
+				*errOf[path] = fmt.Errorf("loading %s: %w", path, err)
+				return
+			}
+			l.mu.Lock()
+			l.cache[path] = pk
+			l.mu.Unlock()
+		}(p)
+	}
+	for _, p := range paths {
+		<-done[p]
+	}
+	for _, p := range paths {
+		if *errOf[p] != nil {
+			return *errOf[p]
+		}
+	}
+	return nil
+}

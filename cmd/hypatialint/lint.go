@@ -20,7 +20,8 @@ const (
 	checkUnitSafety     = "unitsafety"     // degrees/radians/meters/seconds taint reaching a mismatched sink
 	checkLockSafety     = "locksafety"     // unguarded writes to state shared across a go statement
 	checkStaleIgnore    = "staleignore"    // //lint:ignore directives that no longer match any finding
-	checkDirective      = "directive"      // malformed //lint: comments
+	checkPurity         = "purity"         // //hypatia:pure contract violations and unannotated pipeline callees
+	checkDirective      = "directive"      // malformed //lint: or //hypatia: comments
 )
 
 // checkDocs is the one-line documentation per check, for -list.
@@ -33,7 +34,8 @@ var checkDocs = [][2]string{
 	{checkUnitSafety, "degrees/radians/meters/kilometers/seconds must not mix or reach a sink expecting another unit"},
 	{checkLockSafety, "fields accessed from both sides of a go statement must be written under a lock, over a channel, or before launch"},
 	{checkStaleIgnore, "//lint:ignore directives must still match a finding; delete them when the code is fixed"},
-	{checkDirective, "//lint:ignore directives must name a check and give a reason"},
+	{checkPurity, "//hypatia:pure functions must be effect-free and call only annotated functions; pipeline goroutine bodies are held to the worker contract"},
+	{checkDirective, "//lint:ignore directives must name a check and give a reason; //hypatia: comments must be valid and take effect"},
 }
 
 // Finding is one reported lint violation. Suppressed findings (matched by a
@@ -100,8 +102,17 @@ func (r *reporter) reportStale() {
 
 // sorted returns the findings in file/line/column order.
 func (r *reporter) sorted() []Finding {
-	sort.SliceStable(r.findings, func(i, j int) bool {
-		a, b := r.findings[i].Pos, r.findings[j].Pos
+	sortFindings(r.findings)
+	return r.findings
+}
+
+// sortFindings orders findings by file/line/column, stably. The driver
+// relies on the stability: cached entries hold each package's findings in
+// their cold-run order, so re-sorting the assembled mix of cached and
+// fresh findings reproduces the cold output byte for byte.
+func sortFindings(findings []Finding) {
+	sort.SliceStable(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
 		if a.Filename != b.Filename {
 			return a.Filename < b.Filename
 		}
@@ -110,7 +121,6 @@ func (r *reporter) sorted() []Finding {
 		}
 		return a.Column < b.Column
 	})
-	return r.findings
 }
 
 // collectSuppressions scans a file's comments for //lint:ignore directives
@@ -180,12 +190,20 @@ type config struct {
 	// lockScope identifies the packages built around the event-loop/worker
 	// split, where the locksafety check applies.
 	lockScope []string
+	// pureScope identifies the packages whose goroutine bodies are pipeline
+	// workers, held to the purity root contract.
+	pureScope []string
+	// module is the module path of the tree under analysis, filled in by
+	// lint() from go.mod; the effect analysis uses it to tell module-local
+	// bodyless callees (interface methods) from standard-library calls.
+	module string
 }
 
 // lintPackages runs every check family: per-package checks over the lint
 // targets, then the interprocedural families over the call graph built from
-// all loaded packages, then the stale-suppression sweep.
-func lintPackages(targets, all []*pkg, cg *callGraph, cfg config, rep *reporter) {
+// all loaded packages, then the stale-suppression sweep. It returns the
+// effect analysis so the cached driver can persist per-package summaries.
+func lintPackages(targets, all []*pkg, cg *callGraph, cfg config, rep *reporter) *effectAnalysis {
 	for _, p := range targets {
 		for _, f := range p.files {
 			rep.collectSuppressions(f)
@@ -200,7 +218,9 @@ func lintPackages(targets, all []*pkg, cg *callGraph, cfg config, rep *reporter)
 	}
 	checkUnitSafetyPkgs(targets, all, cfg, rep)
 	checkLockSafetyPkgs(targets, cg, cfg, rep)
+	an := checkPurityPkgs(targets, all, cg, cfg, rep)
 	rep.reportStale()
+	return an
 }
 
 // inSimScope reports whether the package's import path falls inside the

@@ -19,6 +19,10 @@ var fixtureCfg = config{
 	simScope:  []string{"internal/sim", "internal/transport", "internal/routing"},
 	unitScope: []string{"internal/orbit", "internal/geom", "internal/tle"},
 	lockScope: []string{"internal/core"},
+	// The purity-root fixture lives under purity/core rather than
+	// internal/core so the locksafety fixture's goroutines stay out of the
+	// pure scope and vice versa.
+	pureScope: []string{"purity/core"},
 }
 
 // loadExpectations scans the fixture tree for `// want <check>...` comments
@@ -103,6 +107,7 @@ func TestFixtures(t *testing.T) {
 	for _, name := range []string{
 		checkNondeterminism, checkTimeUnits, checkDroppedError, checkCopyLock,
 		checkLifecycle, checkUnitSafety, checkLockSafety, checkStaleIgnore,
+		checkPurity, checkDirective,
 	} {
 		if !families[name] {
 			t.Errorf("check family %q produced no findings on its fixtures", name)
@@ -222,6 +227,200 @@ func TestRunExitCodes(t *testing.T) {
 	}
 	if code := run([]string{"./does/not/exist"}); code != 2 {
 		t.Errorf("run on missing dir = %d, want 2", code)
+	}
+}
+
+// TestPurityCallChain pins the acceptance criterion that an injected
+// global write deep inside the fixture copy of the table computation is
+// caught at the worker's call site with the full call chain named.
+func TestPurityCallChain(t *testing.T) {
+	findings, err := lint(".", []string{"./testdata/src/purity/core"}, fixtureCfg)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	var chained bool
+	for _, f := range findings {
+		if f.Check != checkPurity {
+			continue
+		}
+		if strings.Contains(f.Msg, "writes package-level variable sharedTotal") &&
+			strings.Contains(f.Msg, "core.computeTable → core.fillColumn") {
+			chained = true
+		}
+	}
+	if !chained {
+		t.Errorf("no purity finding names the injected write with its full call chain; findings:\n%v", findings)
+	}
+}
+
+// TestSuppressionEdgeCases pins two corners of the directive machinery:
+// a line producing findings from two checks with an ignore naming only one
+// of them (only the named finding is suppressed, the directive is used),
+// and two directives — one above, one trailing — matching the same
+// suppressed finding (both are used, neither is stale).
+func TestSuppressionEdgeCases(t *testing.T) {
+	scratch := filepath.Join("testdata", "scratch-suppress")
+	if err := os.MkdirAll(scratch, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(scratch)
+	src := `package scratch
+
+func mightFail(bool) error { return nil }
+
+// The next statement drops an error and compares floats on one line; the
+// directive names only droppederror, so the timeunits finding survives.
+func twoChecksOneIgnore(a, b float64) {
+	//lint:ignore droppederror exercises one-of-two suppression
+	mightFail(a == b)
+}
+
+// Both directives match the single droppederror finding between them:
+// the finding is suppressed once and neither directive is stale.
+func doubledDirective() {
+	//lint:ignore droppederror covered from the line above
+	mightFail(false) //lint:ignore droppederror covered from the same line
+}
+`
+	if err := os.WriteFile(filepath.Join(scratch, "scratch.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lint(".", []string{"./" + scratch}, fixtureCfg)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	type key struct {
+		check      string
+		suppressed bool
+	}
+	counts := map[key]int{}
+	for _, f := range findings {
+		counts[key{f.Check, f.Suppressed}]++
+	}
+	want := map[key]int{
+		{checkDroppedError, true}: 2,
+		{checkTimeUnits, false}:   1,
+	}
+	for k, n := range want {
+		if counts[k] != n {
+			t.Errorf("findings with check=%s suppressed=%v: got %d, want %d", k.check, k.suppressed, counts[k], n)
+		}
+	}
+	for k := range counts {
+		if _, ok := want[k]; !ok {
+			t.Errorf("unexpected findings: check=%s suppressed=%v ×%d", k.check, k.suppressed, counts[k])
+		}
+	}
+}
+
+// TestFactCache drives lintDriver through a cold run, a warm run, and an
+// invalidating edit. The warm run is proven to come from the cache by
+// tampering with the stored entry: the tampered message surfacing in the
+// results means no re-analysis happened. The edit then changes the
+// package's content hash, so the tampered entry is ignored and the fresh
+// findings reflect the new source.
+func TestFactCache(t *testing.T) {
+	scratch := filepath.Join("testdata", "scratch-cache")
+	if err := os.MkdirAll(scratch, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(scratch)
+	srcFile := filepath.Join(scratch, "scratch.go")
+	src := `package scratch
+
+func mightFail(int) error { return nil }
+
+func drop() {
+	mightFail(1)
+}
+`
+	if err := os.WriteFile(srcFile, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cacheDir := t.TempDir()
+
+	cold, err := lintDriver(".", []string{"./" + scratch}, fixtureCfg, cacheDir, true)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if len(cold) != 1 || cold[0].Check != checkDroppedError {
+		t.Fatalf("cold run: got %v, want one %s finding", cold, checkDroppedError)
+	}
+
+	entries, err := filepath.Glob(filepath.Join(cacheDir, "*.json"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("cache entries after cold run: %v (err %v), want exactly one", entries, err)
+	}
+	data, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	const marker = "TAMPERED-BY-TEST"
+	tampered := bytes.Replace(data, []byte(cold[0].Msg), []byte(marker), 1)
+	if bytes.Equal(tampered, data) {
+		t.Fatalf("cached entry does not contain the finding message %q", cold[0].Msg)
+	}
+	if err := os.WriteFile(entries[0], tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := lintDriver(".", []string{"./" + scratch}, fixtureCfg, cacheDir, true)
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if len(warm) != 1 || warm[0].Msg != marker {
+		t.Fatalf("warm run: got %v, want the tampered cached finding (proof the cache was used)", warm)
+	}
+
+	// Fix the dropped error and introduce a float equality instead: the
+	// content hash changes, the tampered entry no longer matches its key,
+	// and the fresh analysis must report the new finding.
+	edited := `package scratch
+
+func mightFail(int) error { return nil }
+
+func drop(a, b float64) bool {
+	_ = mightFail(1)
+	return a == b
+}
+`
+	if err := os.WriteFile(srcFile, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := lintDriver(".", []string{"./" + scratch}, fixtureCfg, cacheDir, true)
+	if err != nil {
+		t.Fatalf("post-edit run: %v", err)
+	}
+	if len(fresh) != 1 || fresh[0].Check != checkTimeUnits || fresh[0].Msg == marker {
+		t.Fatalf("post-edit run: got %v, want one fresh %s finding", fresh, checkTimeUnits)
+	}
+}
+
+// TestDriverMatchesSerialLint verifies the cached parallel driver and the
+// serial uncached path agree over the full fixture tree — findings,
+// suppression state, order, everything.
+func TestDriverMatchesSerialLint(t *testing.T) {
+	pattern := "./testdata/src/..."
+	serial, err := lint(".", []string{pattern}, fixtureCfg)
+	if err != nil {
+		t.Fatalf("serial lint: %v", err)
+	}
+	cacheDir := t.TempDir()
+	for _, mode := range []string{"cold", "warm"} {
+		got, err := lintDriver(".", []string{pattern}, fixtureCfg, cacheDir, true)
+		if err != nil {
+			t.Fatalf("%s driver run: %v", mode, err)
+		}
+		if len(got) != len(serial) {
+			t.Fatalf("%s driver run: %d findings, serial %d", mode, len(got), len(serial))
+		}
+		// Cache entries do not store byte offsets, so compare the rendered
+		// form (file:line:col, check, message) plus the suppression state.
+		for i := range got {
+			if got[i].String() != serial[i].String() || got[i].Suppressed != serial[i].Suppressed {
+				t.Errorf("%s driver run, finding %d:\n  driver: %v\n  serial: %v", mode, i, got[i], serial[i])
+			}
+		}
 	}
 }
 

@@ -13,12 +13,14 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // pkg is one loaded, type-checked package ready for linting.
 type pkg struct {
 	path  string // import path, e.g. hypatia/internal/sim
 	dir   string // absolute directory
+	fset  *token.FileSet
 	files []*ast.File
 	types *types.Package
 	info  *types.Info
@@ -38,6 +40,14 @@ type loader struct {
 	// loading guards against import cycles, which would otherwise recurse
 	// forever; Go forbids them, so hitting one is a hard error.
 	loading map[string]bool
+	// mu guards cache during the parallel load phase; stdMu serializes the
+	// GOROOT source importer, which memoizes internally but is not safe for
+	// concurrent use. parallel marks that phase: module-local imports must
+	// then already be loaded (the driver schedules dependencies first), so
+	// a miss is an internal error rather than a recursive load.
+	mu       sync.Mutex
+	stdMu    sync.Mutex
+	parallel bool
 }
 
 // newLoader locates the enclosing module of dir and returns a loader for it.
@@ -103,21 +113,36 @@ func (l *loader) importPath(dir string) (string, error) {
 // under the module root, everything else from the standard library.
 func (l *loader) Import(path string) (*types.Package, error) {
 	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		l.mu.Lock()
+		p := l.cache[path]
+		parallel := l.parallel
+		l.mu.Unlock()
+		if p != nil {
+			return p.types, nil
+		}
+		if parallel {
+			return nil, fmt.Errorf("internal: %s imported before it was scheduled", path)
+		}
 		p, err := l.load(path)
 		if err != nil {
 			return nil, err
 		}
 		return p.types, nil
 	}
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
 	return l.std.Import(path)
 }
 
 // load parses and type-checks the package at the given module-local import
 // path, memoized.
 func (l *loader) load(path string) (*pkg, error) {
+	l.mu.Lock()
 	if p, ok := l.cache[path]; ok {
+		l.mu.Unlock()
 		return p, nil
 	}
+	l.mu.Unlock()
 	if l.loading[path] {
 		return nil, fmt.Errorf("import cycle through %s", path)
 	}
@@ -129,7 +154,9 @@ func (l *loader) load(path string) (*pkg, error) {
 	if err != nil {
 		return nil, err
 	}
+	l.mu.Lock()
 	l.cache[path] = p
+	l.mu.Unlock()
 	return p, nil
 }
 
@@ -189,7 +216,7 @@ func (l *loader) loadDir(path, dir string) (*pkg, error) {
 		fmt.Fprintf(os.Stderr, "hypatialint: %s: %d type error(s); results may be incomplete (first: %v)\n",
 			path, len(typeErrs), typeErrs[0])
 	}
-	return &pkg{path: path, dir: dir, files: files, types: tpkg, info: info}, nil
+	return &pkg{path: path, dir: dir, fset: l.fset, files: files, types: tpkg, info: info}, nil
 }
 
 // buildTagsMatch evaluates a file's //go:build constraint (if any) against

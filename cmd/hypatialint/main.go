@@ -30,12 +30,36 @@
 //	                finding is itself reported, so suppressions cannot
 //	                outlive the code they excused
 //
+// An interprocedural effect analysis — a bottom-up fixpoint over the
+// strongly-connected components of the module-local call graph — backs the
+// final pair:
+//
+//	purity          //hypatia:pure is a checked contract: an annotated
+//	                function must be free of global writes, wall-clock and
+//	                rand reads, I/O, and map-order leaks, and may call only
+//	                annotated functions; on a named function type or an
+//	                interface the annotation blesses calls through it and
+//	                obligates module-local implementers; goroutine bodies in
+//	                -purescope packages are held to the worker contract
+//	                (channels and arena writes allowed)
+//	directive       //lint: and //hypatia: comments that are malformed,
+//	                name an unknown directive, or sit where they take no
+//	                effect
+//
+// The command line runs through a cached, parallel driver: packages are
+// type-checked concurrently along the import DAG, and per-package findings
+// are persisted under .hypatialint-cache/ (override with -cache, disable
+// with -nocache) keyed by analyzer schema, toolchain, configuration, and
+// the transitive content hash — warm runs over an unchanged tree reproduce
+// the cold output byte for byte without type-checking anything.
+//
 // Usage:
 //
 //	go run ./cmd/hypatialint ./...
 //	go run ./cmd/hypatialint -list
 //	go run ./cmd/hypatialint -json ./... | jq .
 //	go run ./cmd/hypatialint -simscope internal/sim,internal/engine ./...
+//	go run ./cmd/hypatialint -nocache ./...
 //
 // A finding can be suppressed for one line with a directive comment on the
 // same line or the line above, naming the check and giving a reason:
@@ -76,7 +100,11 @@ func run(args []string) int {
 		"comma-separated import-path substrings identifying orbit-math packages (scope of the unitsafety check)")
 	lockScope := fs.String("lockscope", "internal/core",
 		"comma-separated import-path substrings identifying event-loop/worker packages (scope of the locksafety check)")
+	pureScope := fs.String("purescope", "internal/core",
+		"comma-separated import-path substrings identifying pipeline packages whose goroutine bodies are held to the purity contract")
 	jsonOut := fs.Bool("json", false, "print findings as a JSON array (includes suppressed findings with their state)")
+	cacheDir := fs.String("cache", "", "fact-cache directory (default <module root>/.hypatialint-cache)")
+	noCache := fs.Bool("nocache", false, "disable the on-disk fact cache (packages are still loaded in parallel)")
 	list := fs.Bool("list", false, "list the checks and exit")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: hypatialint [flags] [packages]")
@@ -101,8 +129,9 @@ func run(args []string) int {
 		simScope:  splitList(*simScope),
 		unitScope: splitList(*unitScope),
 		lockScope: splitList(*lockScope),
+		pureScope: splitList(*pureScope),
 	}
-	findings, err := lint(".", patterns, cfg)
+	findings, err := lintDriver(".", patterns, cfg, *cacheDir, !*noCache)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hypatialint:", err)
 		return 2
@@ -161,7 +190,9 @@ func writeJSON(w io.Writer, findings []Finding) error {
 
 // lint loads every package matched by patterns (resolved relative to dir),
 // builds the module-local call graph over everything the loader pulled in,
-// and returns the sorted findings (suppressed ones included).
+// and returns the sorted findings (suppressed ones included). It is the
+// serial, uncached path the tests exercise; the command line goes through
+// lintDriver.
 func lint(dir string, patterns []string, cfg config) ([]Finding, error) {
 	l, err := newLoader(dir)
 	if err != nil {
@@ -186,9 +217,15 @@ func lint(dir string, patterns []string, cfg config) ([]Finding, error) {
 		}
 		targets = append(targets, p)
 	}
-	// The call graph and unit summaries cover every loaded module-local
-	// package — targets plus dependencies — so interprocedural facts do not
-	// stop at the lint-target boundary.
+	findings, _ := analyzeTargets(l, targets, cfg)
+	return findings, nil
+}
+
+// analyzeTargets runs every check family over the given targets. The call
+// graph and unit summaries cover every loaded module-local package —
+// targets plus dependencies — so interprocedural facts do not stop at the
+// lint-target boundary.
+func analyzeTargets(l *loader, targets []*pkg, cfg config) ([]Finding, *effectAnalysis) {
 	var all []*pkg
 	for _, p := range l.cache {
 		all = append(all, p)
@@ -196,8 +233,9 @@ func lint(dir string, patterns []string, cfg config) ([]Finding, error) {
 	sort.Slice(all, func(i, j int) bool { return all[i].path < all[j].path })
 	cg := buildCallGraph(all)
 	rep := newReporter(l.fset)
-	lintPackages(targets, all, cg, cfg, rep)
-	return rep.sorted(), nil
+	cfg.module = l.module
+	an := lintPackages(targets, all, cg, cfg, rep)
+	return rep.sorted(), an
 }
 
 func splitList(s string) []string {

@@ -1,0 +1,77 @@
+// Package puritycore is a hypatialint fixture for the purity check's
+// pipeline-root rules: its directory path contains "purity/core", the
+// fixture pure scope, so every goroutine launched here is held to the
+// worker contract — channels, spawning, and caller-owned arena writes are
+// allowed; globals, the wall clock, randomness, IO, map order, and
+// unannotated module-local callees are not. Lines carrying a
+// "want <check>" trailing comment must be flagged; unmarked lines must
+// not be.
+package puritycore
+
+// sharedTotal stands in for any package-level accumulator a worker must
+// not touch.
+var sharedTotal int
+
+// fillColumn is a fixture copy of the forwarding-table column fill with an
+// injected write to package-level state.
+func fillColumn(dst []int, col int) {
+	for i := range dst {
+		dst[i] = col
+	}
+	sharedTotal += col // the injected global write
+}
+
+// computeTable is the table-computation entry the worker calls; the
+// injected write sits one frame further down.
+func computeTable(dst []int, col int) {
+	fillColumn(dst, col)
+}
+
+// launchTable launches a worker whose table computation hides a global
+// write two frames down. The worker's call site is reported three times:
+// the inherited write and read of sharedTotal (each naming the
+// computeTable -> fillColumn chain), and the unannotated callee itself.
+func launchTable(results chan<- []int) {
+	go func() {
+		dst := make([]int, 8)
+		computeTable(dst, 3) // want purity purity purity
+		results <- dst
+	}()
+}
+
+// pump is launched by name below; as a same-package root its body is
+// scanned directly and the mutable-global read is reported where it
+// happens.
+func pump(in <-chan int, out chan<- int) {
+	for v := range in {
+		out <- v + sharedTotal // want purity
+	}
+}
+
+func startPump(in <-chan int, out chan<- int) {
+	go pump(in, out)
+}
+
+// Launching through a function value cannot be traced to a body, so the
+// contract cannot be checked: the launch itself is the finding.
+func startDynamic(fns []func()) {
+	go fns[0]() // want purity
+}
+
+// scale is the annotated helper the clean worker leans on.
+//
+//hypatia:pure
+func scale(v, f int) int { return v * f }
+
+// startWorker is the clean shape: channels in and out, writes only into
+// the caller-owned arena, annotated helpers only. No findings.
+func startWorker(jobs <-chan int, out chan<- int, arena []int) {
+	go func() {
+		i := 0
+		for v := range jobs {
+			arena[i%len(arena)] = scale(v, 2)
+			i++
+			out <- arena[i%len(arena)]
+		}
+	}()
+}

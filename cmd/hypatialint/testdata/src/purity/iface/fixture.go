@@ -1,0 +1,40 @@
+// Package ifacefix is a hypatialint fixture for //hypatia:pure on
+// interface types: calls through such an interface are trusted, and in
+// exchange every module-local type that satisfies it must annotate the
+// methods it declares. Lines carrying a "want <check>" trailing comment
+// must be flagged; unmarked lines must not be.
+package ifacefix
+
+// Source is a //hypatia:pure interface: sum may call At through it
+// without knowing the implementation.
+//
+//hypatia:pure
+type Source interface {
+	At(i int) int
+}
+
+//hypatia:pure
+func sum(s Source, n int) int {
+	t := 0
+	for i := 0; i < n; i++ {
+		t += s.At(i)
+	}
+	return t
+}
+
+// ramp satisfies Source but its At carries no annotation: the trust placed
+// in the interface is unearned, reported at the implementation.
+type ramp struct{ base int }
+
+func (r ramp) At(i int) int { return r.base + i } // want purity
+
+// fixed satisfies Source and annotates its method: clean.
+type fixed struct{ v int }
+
+//hypatia:pure
+func (f fixed) At(int) int { return f.v }
+
+var (
+	_ Source = ramp{}
+	_ Source = fixed{}
+)

@@ -68,6 +68,8 @@ type RunConfig struct {
 // must be a pure function of (s, active): the pipelined engine calls it
 // concurrently for different instants, and determinism of the simulation
 // rests on its output depending only on its inputs.
+//
+//hypatia:pure
 type Strategy func(s *routing.Snapshot, active []int, workers int) *routing.ForwardingTable
 
 // ShortestPath is the default routing strategy: per-destination Dijkstra

@@ -150,6 +150,8 @@ func (p *pipeline) close() {
 // with reused scratch (cross-instant parallelism in the pipeline replaces
 // the per-destination fan-out), into a pooled table. Results are identical
 // to Snapshot.ForwardingTable / PartialForwardingTable.
+//
+//hypatia:pure
 func shortestPathPooled(s *routing.Snapshot, active []int, pool *routing.TablePool, sc *routing.StrategyScratch) *routing.ForwardingTable {
 	ft := pool.Empty(s.T, s.Topo.NumNodes(), s.Topo.NumGS())
 	if active == nil {

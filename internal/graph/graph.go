@@ -32,6 +32,8 @@ type Graph struct {
 }
 
 // New creates a graph with n nodes and no edges.
+//
+//hypatia:pure
 func New(n int) *Graph {
 	return &Graph{n: n, adj: make([][]Edge, n)}
 }
@@ -40,6 +42,8 @@ func New(n int) *Graph {
 // the per-node adjacency slabs from previous use. Rebuilding a graph of a
 // similar shape (the forwarding-state engine does so every update instant)
 // then performs no allocations in steady state.
+//
+//hypatia:pure
 func (g *Graph) Reset(n int) {
 	if n <= cap(g.adj) {
 		g.adj = g.adj[:n]
@@ -73,6 +77,8 @@ func (g *Graph) Neighbors(v int) []Edge { return g.adj[v] }
 // AddEdge inserts an undirected edge between a and b with weight w.
 // It panics on out-of-range nodes, self-loops, or negative weights —
 // all of which indicate a topology-construction bug.
+//
+//hypatia:pure
 func (g *Graph) AddEdge(a, b int, w float64) {
 	if a < 0 || a >= g.n || b < 0 || b >= g.n {
 		panic(fmt.Sprintf("graph: edge %d-%d out of range [0,%d)", a, b, g.n))
@@ -100,6 +106,8 @@ type indexedHeap struct {
 // arrays when they are large enough. A completed Dijkstra run leaves pos
 // all -1 (every pushed node is eventually popped, and pop clears its pos
 // entry), so reuse needs no re-initialization sweep.
+//
+//hypatia:pure
 func (h *indexedHeap) reset(n int) {
 	if cap(h.pos) < n {
 		h.nodes = make([]int32, 0, n)
@@ -115,6 +123,7 @@ func (h *indexedHeap) reset(n int) {
 	h.key = h.key[:n]
 }
 
+//hypatia:pure
 func (h *indexedHeap) less(a, b int32) bool {
 	//lint:ignore timeunits exact float tie-break keeps heap ordering deterministic
 	if h.key[a] != h.key[b] {
@@ -123,12 +132,14 @@ func (h *indexedHeap) less(a, b int32) bool {
 	return a < b
 }
 
+//hypatia:pure
 func (h *indexedHeap) swap(i, j int) {
 	h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i]
 	h.pos[h.nodes[i]] = int32(i)
 	h.pos[h.nodes[j]] = int32(j)
 }
 
+//hypatia:pure
 func (h *indexedHeap) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -140,6 +151,7 @@ func (h *indexedHeap) up(i int) {
 	}
 }
 
+//hypatia:pure
 func (h *indexedHeap) down(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
@@ -159,6 +171,8 @@ func (h *indexedHeap) down(i int) {
 }
 
 // push inserts node v with key k, or decreases its key if already present.
+//
+//hypatia:pure
 func (h *indexedHeap) push(v int32, k float64) {
 	if h.pos[v] >= 0 {
 		if k >= h.key[v] {
@@ -175,6 +189,8 @@ func (h *indexedHeap) push(v int32, k float64) {
 }
 
 // pop removes and returns the minimum node.
+//
+//hypatia:pure
 func (h *indexedHeap) pop() int32 {
 	top := h.nodes[0]
 	last := len(h.nodes) - 1
@@ -187,6 +203,7 @@ func (h *indexedHeap) pop() int32 {
 	return top
 }
 
+//hypatia:pure
 func (h *indexedHeap) empty() bool { return len(h.nodes) == 0 }
 
 // Scratch holds the reusable internals of a Dijkstra run (the indexed
@@ -206,6 +223,8 @@ type Scratch struct {
 // Ties between equally short paths are broken toward the smaller node index
 // at extraction time, so repeated runs over an identical graph produce an
 // identical shortest-path tree.
+//
+//hypatia:pure
 func (g *Graph) Dijkstra(src int, dist []float64, prev []int32) ([]float64, []int32) {
 	return g.DijkstraScratch(src, dist, prev, &Scratch{})
 }
@@ -213,6 +232,8 @@ func (g *Graph) Dijkstra(src int, dist []float64, prev []int32) ([]float64, []in
 // DijkstraScratch is Dijkstra with an explicit scratch workspace. Results
 // are identical to Dijkstra for any scratch state: the workspace only
 // recycles allocations, never data.
+//
+//hypatia:pure
 func (g *Graph) DijkstraScratch(src int, dist []float64, prev []int32, sc *Scratch) ([]float64, []int32) {
 	if src < 0 || src >= g.n {
 		panic(fmt.Sprintf("graph: source %d out of range", src))

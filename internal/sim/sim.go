@@ -36,6 +36,7 @@ func Seconds(s float64) Time { return Time(math.Round(s * 1e9)) }
 
 // Seconds converts the Time to float64 seconds.
 //
+//hypatia:pure
 //lint:ignore timeunits Seconds is the one sanctioned Time-to-float conversion
 func (t Time) Seconds() float64 { return float64(t) / 1e9 }
 

@@ -24,14 +24,17 @@ echo "== build (both variants) =="
 go build ./...
 go build -tags hypatia_checks ./...
 
+echo "== build hypatialint =="
+go build -o bin/hypatialint ./cmd/hypatialint
+
 echo "== hypatialint =="
-go run ./cmd/hypatialint ./...
+./bin/hypatialint ./...
 
 echo "== hypatialint -json (machine-readable output stays well-formed) =="
-go run ./cmd/hypatialint -json ./... > /dev/null
+./bin/hypatialint -json ./... > /dev/null
 
 echo "== hypatialint self-check (fixtures must fail) =="
-if go run ./cmd/hypatialint ./cmd/hypatialint/testdata/src/... >/dev/null; then
+if ./bin/hypatialint ./cmd/hypatialint/testdata/src/... >/dev/null; then
     echo "hypatialint reported the fixture tree clean; the analyzer is broken" >&2
     exit 1
 fi
