@@ -38,7 +38,8 @@ func hashf(h io.Writer, format string, args ...any) {
 
 // cacheSchema versions the entry format and the analyzer itself: bump it
 // whenever a check's behavior changes, so stale entries self-invalidate.
-const cacheSchema = 1
+// Schema 2: confinement check + per-package confinement facts.
+const cacheSchema = 2
 
 // pkgMeta is the cheap, imports-only view of one package directory used
 // for cache keying and load scheduling — no type-checking involved.
@@ -198,6 +199,10 @@ type cacheEntry struct {
 	Package  string              `json:"package"`
 	Findings []cachedFinding     `json:"findings"`
 	Effects  map[string][]string `json:"effects,omitempty"`
+	// Confinement records the //hypatia:confined and //hypatia:transfer
+	// annotations the package declares (JSON object keys marshal sorted, so
+	// warm entries stay byte-identical to cold ones).
+	Confinement map[string]string `json:"confinement,omitempty"`
 }
 
 // entryFile maps an import path to its entry file name.
@@ -234,11 +239,11 @@ func readCacheEntry(cacheDir, path, key, root string) ([]Finding, bool) {
 
 // writeCacheEntry persists one package's findings (already in their final
 // sorted order) and effect summaries, atomically via temp file + rename.
-func writeCacheEntry(cacheDir, path, key, root string, findings []Finding, effects map[string][]string) error {
+func writeCacheEntry(cacheDir, path, key, root string, findings []Finding, effects map[string][]string, confinement map[string]string) error {
 	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
 		return err
 	}
-	e := cacheEntry{Schema: cacheSchema, Key: key, Package: path, Effects: effects}
+	e := cacheEntry{Schema: cacheSchema, Key: key, Package: path, Effects: effects, Confinement: confinement}
 	for _, f := range findings {
 		rel, err := filepath.Rel(root, f.Pos.Filename)
 		if err != nil {

@@ -41,7 +41,7 @@ type lockAccess struct {
 	write bool
 }
 
-func checkLockSafetyPkgs(targets []*pkg, cg *callGraph, cfg config, rep *reporter) {
+func checkLockSafetyPkgs(targets []*pkg, cg *callGraph, cfg config, conf *confIndex, rep *reporter) {
 	var scope []*pkg
 	inScope := map[*pkg]bool{}
 	for _, p := range targets {
@@ -113,7 +113,7 @@ func checkLockSafetyPkgs(targets []*pkg, cg *callGraph, cfg config, rep *reporte
 			}
 			anyWrite = anyWrite || a.write
 		}
-		if !onGo || !onLoop || !anyWrite || exemptLockField(field) {
+		if !onGo || !onLoop || !anyWrite || exemptLockField(field, conf) {
 			continue
 		}
 		// Group this field's candidate writes by function and run the
@@ -203,8 +203,14 @@ func collectFieldAccesses(p *pkg, body *ast.BlockStmt, node cgKey) []fieldAccess
 	return out
 }
 
-// exemptLockField reports whether a field synchronizes itself.
-func exemptLockField(field *types.Var) bool {
+// exemptLockField reports whether a field synchronizes itself, or is exempt
+// because the confinement analysis owns it: a //hypatia:confined field (or
+// a field of a //hypatia:confined type) is proven reachable from at most
+// one goroutine at a time by the confinement check — and any violation of
+// that proof is its own finding — so demanding a lock on top would be the
+// false positive this check was known for on pre-launch-initialized worker
+// state.
+func exemptLockField(field *types.Var, conf *confIndex) bool {
 	t := field.Type()
 	if _, isChan := t.Underlying().(*types.Chan); isChan {
 		return true
@@ -214,6 +220,14 @@ func exemptLockField(field *types.Var) bool {
 	}
 	if _, locky := noCopyType(t); locky {
 		return true // contains a lock: guarded by its own methods
+	}
+	if conf != nil {
+		if conf.fields[field] {
+			return true
+		}
+		if confinedTypeName(t, conf) != nil {
+			return true
+		}
 	}
 	return false
 }

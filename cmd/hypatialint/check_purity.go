@@ -38,10 +38,10 @@ import (
 // checkPurityPkgs runs the purity check over the lint targets, using effect
 // summaries computed over every loaded package. It returns the analysis so
 // the driver can persist per-package effect facts.
-func checkPurityPkgs(targets, all []*pkg, cg *callGraph, cfg config, rep *reporter) *effectAnalysis {
+func checkPurityPkgs(targets, all []*pkg, cg *callGraph, cfg config, conf *confIndex, rep *reporter) *effectAnalysis {
 	an := analyzeEffects(all, cg, cfg.module)
 	for _, p := range targets {
-		pc := &purityChecker{an: an, p: p, rep: rep}
+		pc := &purityChecker{an: an, p: p, conf: conf, rep: rep}
 		pc.checkDirectiveComments()
 		pc.checkAnnotated()
 		pc.checkImplementers()
@@ -53,9 +53,10 @@ func checkPurityPkgs(targets, all []*pkg, cg *callGraph, cfg config, rep *report
 }
 
 type purityChecker struct {
-	an  *effectAnalysis
-	p   *pkg
-	rep *reporter
+	an   *effectAnalysis
+	p    *pkg
+	conf *confIndex
+	rep  *reporter
 }
 
 // checkDirectiveComments flags //hypatia: comments that are malformed or
@@ -72,14 +73,25 @@ func (pc *purityChecker) checkDirectiveComments() {
 				if i := strings.IndexByte(verb, ' '); i >= 0 {
 					verb = verb[:i]
 				}
-				if verb != "pure" {
+				switch verb {
+				case "pure":
+					if !pc.an.honored[c.Pos()] {
+						pc.rep.add(c.Pos(), checkDirective,
+							"//hypatia:pure has no effect here; it belongs in the doc comment of a function or a named function type")
+					}
+				case "confined":
+					if !pc.conf.honored[c.Pos()] {
+						pc.rep.add(c.Pos(), checkDirective,
+							"//hypatia:confined has no effect here; it belongs in the doc comment of a type declaration or a struct field")
+					}
+				case "transfer":
+					if !pc.conf.honored[c.Pos()] {
+						pc.rep.add(c.Pos(), checkDirective,
+							"//hypatia:transfer has no effect here; it belongs in the doc comment of a function or method")
+					}
+				default:
 					pc.rep.add(c.Pos(), checkDirective,
-						fmt.Sprintf("unknown //hypatia: directive %q (only //hypatia:pure is supported)", "hypatia:"+verb))
-					continue
-				}
-				if !pc.an.honored[c.Pos()] {
-					pc.rep.add(c.Pos(), checkDirective,
-						"//hypatia:pure has no effect here; it belongs in the doc comment of a function or a named function type")
+						fmt.Sprintf("unknown //hypatia: directive %q (supported: //hypatia:pure, //hypatia:confined, //hypatia:transfer)", "hypatia:"+verb))
 				}
 			}
 		}

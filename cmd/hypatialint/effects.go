@@ -162,6 +162,10 @@ type effectAnalysis struct {
 	// that actually took effect, so the purity check can flag directives
 	// placed where the analysis ignores them.
 	honored map[token.Pos]bool
+	// conf is the confinement-annotation index, attached by lintPackages so
+	// the driver can persist per-package confinement facts alongside the
+	// effect summaries.
+	conf *confIndex
 }
 
 // pureDirective is the annotation marking a function (or a named function

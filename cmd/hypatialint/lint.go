@@ -21,6 +21,7 @@ const (
 	checkLockSafety     = "locksafety"     // unguarded writes to state shared across a go statement
 	checkStaleIgnore    = "staleignore"    // //lint:ignore directives that no longer match any finding
 	checkPurity         = "purity"         // //hypatia:pure contract violations and unannotated pipeline callees
+	checkConfinement    = "confinement"    // //hypatia:confined values reachable from more than one goroutine
 	checkDirective      = "directive"      // malformed //lint: or //hypatia: comments
 )
 
@@ -35,6 +36,7 @@ var checkDocs = [][2]string{
 	{checkLockSafety, "fields accessed from both sides of a go statement must be written under a lock, over a channel, or before launch"},
 	{checkStaleIgnore, "//lint:ignore directives must still match a finding; delete them when the code is fixed"},
 	{checkPurity, "//hypatia:pure functions must be effect-free and call only annotated functions; pipeline goroutine bodies are held to the worker contract"},
+	{checkConfinement, "//hypatia:confined values must stay reachable from at most one goroutine; ownership transfers only over channels or //hypatia:transfer calls"},
 	{checkDirective, "//lint:ignore directives must name a check and give a reason; //hypatia: comments must be valid and take effect"},
 }
 
@@ -217,8 +219,11 @@ func lintPackages(targets, all []*pkg, cg *callGraph, cfg config, rep *reporter)
 		checkLifecyclePkg(p, rep)
 	}
 	checkUnitSafetyPkgs(targets, all, cfg, rep)
-	checkLockSafetyPkgs(targets, cg, cfg, rep)
-	an := checkPurityPkgs(targets, all, cg, cfg, rep)
+	conf := collectConfinementDirectives(all)
+	checkLockSafetyPkgs(targets, cg, cfg, conf, rep)
+	an := checkPurityPkgs(targets, all, cg, cfg, conf, rep)
+	an.conf = conf
+	checkConfinementPkgs(targets, all, cg, an, conf, cfg, rep)
 	rep.reportStale()
 	return an
 }

@@ -107,7 +107,7 @@ func TestFixtures(t *testing.T) {
 	for _, name := range []string{
 		checkNondeterminism, checkTimeUnits, checkDroppedError, checkCopyLock,
 		checkLifecycle, checkUnitSafety, checkLockSafety, checkStaleIgnore,
-		checkPurity, checkDirective,
+		checkPurity, checkConfinement, checkDirective,
 	} {
 		if !families[name] {
 			t.Errorf("check family %q produced no findings on its fixtures", name)
@@ -137,6 +137,56 @@ func TestLifecycleFixtureFailsAlone(t *testing.T) {
 	}
 	if counts[checkStaleIgnore] != 1 {
 		t.Errorf("staleignore findings = %d, want exactly the planted stale directive", counts[checkStaleIgnore])
+	}
+}
+
+// TestConfinementFixtureFailsAlone pins the acceptance criterion that the
+// seeded escape bugs in the confinement fixture fail the lint when run by
+// themselves, with the full allocation-to-escape path present in both the
+// text rendering and the -json output.
+func TestConfinementFixtureFailsAlone(t *testing.T) {
+	if code := run([]string{"./testdata/src/confine"}); code != 1 {
+		t.Fatalf("run on confine fixture = %d, want 1", code)
+	}
+	findings, err := lint(".", []string{"./testdata/src/confine"}, fixtureCfg)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	var confinement int
+	var pathed bool
+	for _, f := range findings {
+		if f.Check != checkConfinement {
+			continue
+		}
+		confinement++
+		if strings.Contains(f.String(), "escape path:") &&
+			strings.Contains(f.Msg, "confine.arena value at fixture.go:") &&
+			strings.Contains(f.Msg, "captured variable a") {
+			pathed = true
+		}
+	}
+	if confinement < 10 {
+		t.Errorf("confinement findings = %d, want the fixture's ten seeded escapes", confinement)
+	}
+	if !pathed {
+		t.Errorf("no finding renders the allocation-to-escape path; findings:\n%v", findings)
+	}
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, findings); err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+	var decoded []jsonFinding
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("decode -json output: %v", err)
+	}
+	var jsonPathed bool
+	for _, d := range decoded {
+		if d.Check == checkConfinement && strings.Contains(d.Message, "escape path:") {
+			jsonPathed = true
+		}
+	}
+	if !jsonPathed {
+		t.Error("-json output carries no confinement finding with its escape path")
 	}
 }
 
@@ -333,6 +383,14 @@ func mightFail(int) error { return nil }
 func drop() {
 	mightFail(1)
 }
+
+// scratchArena exists so the entry must carry confinement facts.
+//
+//hypatia:confined
+type scratchArena struct{ n int }
+
+//hypatia:transfer
+func handoff(a *scratchArena) *scratchArena { return a }
 `
 	if err := os.WriteFile(srcFile, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
@@ -355,6 +413,14 @@ func drop() {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var entry cacheEntry
+	if err := json.Unmarshal(data, &entry); err != nil {
+		t.Fatalf("decoding cache entry: %v", err)
+	}
+	if entry.Confinement["type scratchArena"] != "confined" || entry.Confinement["func handoff"] != "transfer" {
+		t.Errorf("cache entry confinement facts = %v, want the scratch annotations persisted", entry.Confinement)
+	}
+
 	const marker = "TAMPERED-BY-TEST"
 	tampered := bytes.Replace(data, []byte(cold[0].Msg), []byte(marker), 1)
 	if bytes.Equal(tampered, data) {

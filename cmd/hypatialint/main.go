@@ -42,6 +42,13 @@
 //	                obligates module-local implementers; goroutine bodies in
 //	                -purescope packages are held to the worker contract
 //	                (channels and arena writes allowed)
+//	confinement     //hypatia:confined on a type or struct field is a
+//	                machine-proven ownership contract: an Andersen-style
+//	                points-to analysis over the call graph proves each such
+//	                value reachable from at most one goroutine at a time,
+//	                with channel send/receive and //hypatia:transfer calls
+//	                as the only ownership-transfer points; violations report
+//	                the full allocation→escape path
 //	directive       //lint: and //hypatia: comments that are malformed,
 //	                name an unknown directive, or sit where they take no
 //	                effect

@@ -1,0 +1,192 @@
+// Package confine is a hypatialint fixture for the confinement check.
+// //hypatia:confined on a type (or a struct field) is a machine-proven
+// ownership contract: the points-to analysis must show every such value
+// reachable from at most one goroutine at a time, with channel send or
+// receive and //hypatia:transfer calls as the only sanctioned handoff
+// points. Lines carrying a "want <check>" trailing comment must be
+// flagged; unmarked lines must not be.
+package confine
+
+// arena is the confined type under test.
+//
+//hypatia:confined
+type arena struct {
+	buf []int
+}
+
+// leaked is where the global-store case publishes an arena, making it
+// reachable from every goroutine in the program.
+var leaked *arena
+
+func consume(a *arena) {
+	if a != nil {
+		a.buf = append(a.buf, 1)
+	}
+}
+
+// loopLaunch captures one arena in a closure launched inside a loop: the
+// single value becomes reachable from every iteration's goroutine.
+func loopLaunch() {
+	a := &arena{}
+	for i := 0; i < 4; i++ {
+		go func() { // want confinement
+			consume(a)
+		}()
+	}
+}
+
+// doubleLaunch hands the same arena to two goroutines; each launch site
+// is reported, naming the other.
+func doubleLaunch() {
+	a := &arena{}
+	go consume(a) // want confinement
+	go consume(a) // want confinement
+}
+
+// sliceAlias shows aliasing through a slice of pointers: the second
+// goroutine reaches the same arena through the slice.
+func sliceAlias() {
+	a := &arena{}
+	all := []*arena{a}
+	go consume(a)      // want confinement
+	go consumeAll(all) // want confinement
+}
+
+func consumeAll(as []*arena) {
+	for _, a := range as {
+		consume(a)
+	}
+}
+
+// publish stores an arena into a package-level variable, the escape the
+// analysis can never bless.
+func publish() {
+	a := &arena{}
+	leaked = a // want confinement
+	consume(a)
+}
+
+// handler abstracts over consumers; a call through it cannot be traced to
+// a body, so a confined argument loses its proof.
+type handler interface {
+	handle(a *arena)
+}
+
+func viaInterface(h handler) {
+	a := &arena{}
+	h.handle(a) // want confinement
+}
+
+// viaFuncValue loses the proof the same way through a bare function value.
+func viaFuncValue(f func(*arena)) {
+	a := &arena{}
+	f(a) // want confinement
+}
+
+// singleLaunch hands its arena off exactly once, outside any loop: a
+// legal ownership transfer to the new goroutine.
+func singleLaunch() {
+	a := &arena{}
+	go consume(a)
+}
+
+// channelHandoff moves arenas to a worker over a channel; the send and
+// the range receive are the sanctioned transfer points, so each value
+// still has one owner at a time.
+func channelHandoff() {
+	ch := make(chan *arena)
+	done := make(chan struct{})
+	go func() {
+		for a := range ch {
+			consume(a)
+		}
+		done <- struct{}{}
+	}()
+	for i := 0; i < 4; i++ {
+		ch <- &arena{}
+	}
+	close(ch)
+	<-done
+}
+
+// pool is a free list whose get and put are annotated transfer points;
+// drawing from it severs the alias between the list and the caller, so
+// even loop-launched workers sharing one pool stay provable.
+type pool struct {
+	free []*arena
+}
+
+//hypatia:transfer
+func (p *pool) get() *arena {
+	if n := len(p.free); n > 0 {
+		a := p.free[n-1]
+		p.free = p.free[:n-1]
+		return a
+	}
+	return &arena{}
+}
+
+//hypatia:transfer
+func (p *pool) put(a *arena) {
+	p.free = append(p.free, a)
+}
+
+func pooledWorkers(workers int) {
+	p := &pool{}
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			a := p.get()
+			consume(a)
+			p.put(a)
+			done <- struct{}{}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}
+
+// list is not confined as a type; box confines it at the field level.
+type list struct {
+	xs []int
+}
+
+// box shows field-granular confinement: whatever its items field holds is
+// owned by one goroutine, even though list values elsewhere are free.
+type box struct {
+	// items is owned by exactly one worker at a time.
+	//
+	//hypatia:confined
+	items *list
+}
+
+func useBox(b *box) {
+	b.items.xs = append(b.items.xs, 1)
+}
+
+// fieldDouble leaks the field-confined list to two goroutines through the
+// shared box.
+func fieldDouble() {
+	b := &box{items: &list{}}
+	go useBox(b) // want confinement
+	go useBox(b) // want confinement
+}
+
+// freeList shows the same list type outside a confined field staying
+// unconstrained: sharing it is fine.
+func freeList() {
+	l := &list{}
+	go func() { l.xs = append(l.xs, 1) }()
+	go func() { l.xs = append(l.xs, 2) }()
+}
+
+// The analysis honors //hypatia:confined only on type declarations and
+// struct fields, and //hypatia:transfer only on functions and methods;
+// anywhere else they are dead weight and reported.
+//
+//hypatia:confined // want directive
+func misplacedConfined() {}
+
+//hypatia:transfer // want directive
+type misplacedTransfer struct{}

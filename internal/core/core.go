@@ -219,7 +219,18 @@ func PartialForwardingTable(s *routing.Snapshot, dstGS []int, workers int) *rout
 	if workers < 1 {
 		workers = 1
 	}
+	// The forwarding table is //hypatia:confined, so the workers never touch
+	// it: each finished predecessor tree is handed back over results and
+	// applied below on the one goroutine that owns ft. The per-tree ack
+	// keeps a worker from overwriting its prev buffer while the owner is
+	// still copying out of it.
+	type destResult struct {
+		gs   int
+		prev []int32
+		ack  chan struct{}
+	}
 	jobs := make(chan int)
+	results := make(chan destResult)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -227,16 +238,25 @@ func PartialForwardingTable(s *routing.Snapshot, dstGS []int, workers int) *rout
 			defer wg.Done()
 			var dist []float64
 			var prev []int32
+			ack := make(chan struct{})
 			for gs := range jobs {
 				dist, prev = s.FromGS(gs, dist, prev)
-				ft.SetDestination(gs, prev)
+				results <- destResult{gs: gs, prev: prev, ack: ack}
+				<-ack
 			}
 		}()
 	}
-	for _, gs := range dstGS {
-		jobs <- gs
+	go func() {
+		for _, gs := range dstGS {
+			jobs <- gs
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+	for r := range results {
+		ft.SetDestination(r.gs, r.prev)
+		r.ack <- struct{}{}
 	}
-	close(jobs)
-	wg.Wait()
 	return ft
 }

@@ -206,6 +206,8 @@ func (s *Snapshot) FromGSScratch(gs int, dist []float64, prev []int32, sc *graph
 // across update instants: the Dijkstra distance/predecessor arrays and the
 // heap workspace. The zero value is ready for use; a StrategyScratch must
 // not be shared between concurrent sweeps.
+//
+//hypatia:confined
 type StrategyScratch struct {
 	Dist     []float64
 	Prev     []int32
@@ -268,6 +270,8 @@ func (s *Snapshot) KShortestPaths(srcGS, dstGS, k int) []graph.WeightedPath {
 // for every node and every destination ground station, the next-hop node.
 // It is the in-memory analog of the static routing tables Hypatia installs
 // into ns-3 at each state-update event.
+//
+//hypatia:confined
 type ForwardingTable struct {
 	T        float64
 	NumNodes int
@@ -332,6 +336,7 @@ type TablePool struct {
 // one large enough is available.
 //
 //hypatia:pure
+//hypatia:transfer
 func (p *TablePool) Empty(t float64, numNodes, numGS int) *ForwardingTable {
 	need := numNodes * numGS
 	var ft *ForwardingTable
@@ -364,6 +369,8 @@ func (p *TablePool) Empty(t float64, numNodes, numGS int) *ForwardingTable {
 // Release, into a panic, since a double Release would let the pool hand the
 // same buffer to two owners at once. Unchecked builds silently tolerate the
 // repeat.
+//
+//hypatia:transfer
 func (ft *ForwardingTable) Release() {
 	if ft == nil {
 		return

@@ -51,6 +51,8 @@ type event struct {
 }
 
 // eventHeap is a min-heap ordered by (at, seq).
+//
+//hypatia:confined
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
@@ -71,6 +73,8 @@ func (h *eventHeap) Pop() any {
 }
 
 // Simulator is a single-threaded discrete-event engine.
+//
+//hypatia:confined
 type Simulator struct {
 	now       Time
 	events    eventHeap

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Forwarding-state benchmark harness: runs the routing and core benchmarks
-# with -benchmem and emits machine-readable results to BENCH_routing.json in
-# the repository root, then times hypatialint cold (empty fact cache) vs
-# warm (all-hit fact cache) into BENCH_lint.json. Run from anywhere:
+# with -benchmem at both GOMAXPROCS=1 and a wide setting (nproc, floored at
+# 4) — the single-core run isolates per-op cost, the wide run measures the
+# pipeline under real concurrency — and emits machine-readable results to
+# BENCH_routing.json in the repository root, then times hypatialint cold
+# (empty fact cache) vs warm (all-hit fact cache) into BENCH_lint.json.
+# Run from anywhere:
 #
 #   ./scripts/bench.sh [benchtime]
 #
@@ -13,18 +16,34 @@ cd "$(dirname "$0")/.."
 
 benchtime="${1:-5x}"
 out="BENCH_routing.json"
-raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+nproc_val="$(nproc)"
+# The wide run is GOMAXPROCS=nproc, floored at 4 so the capture always
+# exercises GOMAXPROCS>1; on hosts with fewer hardware threads than that
+# it measures scheduler interleaving rather than a parallel speedup — the
+# JSON records nproc alongside, so the two cases stay distinguishable.
+wide=$(( nproc_val > 4 ? nproc_val : 4 ))
+raw1="$(mktemp)"
+rawN="$(mktemp)"
+trap 'rm -f "$raw1" "$rawN"' EXIT
 
-echo "== go test -bench (routing + core forwarding state; benchtime=$benchtime) =="
-go test -run '^$' \
-    -bench 'Snapshot$|SnapshotInto|ForwardingTableFull|ForwardingTablePooled' \
-    -benchtime "$benchtime" -benchmem -count=1 ./internal/routing/ | tee -a "$raw"
-go test -run '^$' \
-    -bench 'ForwardingStateSerial|ForwardingStatePipelined' \
-    -benchtime "$benchtime" -benchmem -count=1 ./internal/core/ | tee -a "$raw"
+# bench_once runs the full bench suite at one GOMAXPROCS setting.
+bench_once() { # $1 = gomaxprocs, $2 = raw output file
+    GOMAXPROCS="$1" go test -run '^$' \
+        -bench 'Snapshot$|SnapshotInto|ForwardingTableFull|ForwardingTablePooled' \
+        -benchtime "$benchtime" -benchmem -count=1 ./internal/routing/ | tee -a "$2"
+    GOMAXPROCS="$1" go test -run '^$' \
+        -bench 'ForwardingStateSerial|ForwardingStatePipelined' \
+        -benchtime "$benchtime" -benchmem -count=1 ./internal/core/ | tee -a "$2"
+}
 
-awk -v goversion="$(go version | awk '{print $3}')" -v nproc="$(nproc)" '
+echo "== go test -bench (GOMAXPROCS=1; benchtime=$benchtime) =="
+bench_once 1 "$raw1"
+echo "== go test -bench (GOMAXPROCS=$wide; benchtime=$benchtime) =="
+bench_once "$wide" "$rawN"
+
+# run_json renders one raw bench log as a JSON run object.
+run_json() { # $1 = raw file, $2 = gomaxprocs used
+    awk -v gmp="$2" '
 /^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
 /^Benchmark/ {
     name = $1
@@ -35,34 +54,46 @@ awk -v goversion="$(go version | awk '{print $3}')" -v nproc="$(nproc)" '
     order[n++] = name
 }
 END {
-    printf "{\n"
-    printf "  \"go\": \"%s\",\n", goversion
-    printf "  \"gomaxprocs\": %d,\n", nproc
-    printf "  \"cpu\": \"%s\",\n", cpu
-    printf "  \"benchmarks\": {\n"
+    printf "    {\n"
+    printf "      \"gomaxprocs\": %d,\n", gmp
+    printf "      \"cpu\": \"%s\",\n", cpu
+    printf "      \"benchmarks\": {\n"
     for (i = 0; i < n; i++) {
         name = order[i]
-        printf "    \"%s\": {\"ns_per_op\": %s", name, ns[name]
+        printf "        \"%s\": {\"ns_per_op\": %s", name, ns[name]
         if (name in bytes)  printf ", \"bytes_per_op\": %s", bytes[name]
         if (name in allocs) printf ", \"allocs_per_op\": %s", allocs[name]
         printf "}%s\n", (i < n - 1) ? "," : ""
     }
-    printf "  },\n"
+    printf "      },\n"
     serial = ns["BenchmarkForwardingStateSerial"]
     piped  = ns["BenchmarkForwardingStatePipelined"]
     if (serial > 0 && piped > 0)
-        printf "  \"serial_over_pipelined\": %.3f\n", serial / piped
+        printf "      \"serial_over_pipelined\": %.3f\n", serial / piped
     else
-        printf "  \"serial_over_pipelined\": null\n"
-    printf "}\n"
-}' "$raw" > "$out"
+        printf "      \"serial_over_pipelined\": null\n"
+    printf "    }"
+}' "$1"
+}
+
+{
+    printf '{\n'
+    printf '  "go": "%s",\n' "$(go version | awk '{print $3}')"
+    printf '  "nproc": %d,\n' "$nproc_val"
+    printf '  "runs": [\n'
+    run_json "$raw1" 1
+    printf ',\n'
+    run_json "$rawN" "$wide"
+    printf '\n  ]\n'
+    printf '}\n'
+} > "$out"
 
 echo "wrote $out"
 
 echo "== hypatialint cold vs warm (fact cache) =="
 lintout="BENCH_lint.json"
 lintcache="$(mktemp -d)"
-trap 'rm -f "$raw"; rm -rf "$lintcache"' EXIT
+trap 'rm -f "$raw1" "$rawN"; rm -rf "$lintcache"' EXIT
 go build -o bin/hypatialint ./cmd/hypatialint
 
 # now_ms prints a millisecond wall-clock timestamp.
@@ -83,7 +114,7 @@ for _ in 1 2 3; do
     if [[ -z "$warm_ms" || "$d" -lt "$warm_ms" ]]; then warm_ms=$d; fi
 done
 
-awk -v goversion="$(go version | awk '{print $3}')" -v nproc="$(nproc)" \
+awk -v goversion="$(go version | awk '{print $3}')" -v nproc="$nproc_val" \
     -v cold="$cold_ms" -v warm="$warm_ms" 'BEGIN {
     printf "{\n"
     printf "  \"go\": \"%s\",\n", goversion

@@ -39,6 +39,21 @@ if ./bin/hypatialint ./cmd/hypatialint/testdata/src/... >/dev/null; then
     exit 1
 fi
 
+echo "== hypatialint self-check (confinement escape paths) =="
+# The seeded escape bugs in the confine fixture must fail the lint with the
+# full allocation-to-escape path rendered, in text and -json output alike.
+# (The lint exits 1 on the findings, so capture before grepping.)
+conftext=$(./bin/hypatialint ./cmd/hypatialint/testdata/src/confine 2>/dev/null || true)
+if ! grep -q 'confinement.*escape path:' <<<"$conftext"; then
+    echo "no confinement finding with an escape path in text output" >&2
+    exit 1
+fi
+confjson=$(./bin/hypatialint -json ./cmd/hypatialint/testdata/src/confine 2>/dev/null || true)
+if ! grep -q 'escape path:' <<<"$confjson"; then
+    echo "no confinement finding with an escape path in -json output" >&2
+    exit 1
+fi
+
 echo "== go test -race -tags hypatia_checks (shuffled) =="
 go test -race -tags hypatia_checks -shuffle=on ./...
 
