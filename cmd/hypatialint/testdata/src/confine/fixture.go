@@ -181,6 +181,39 @@ func freeList() {
 	go func() { l.xs = append(l.xs, 2) }()
 }
 
+// repairScratch mirrors the solver-scratch pattern from internal/graph: a
+// reusable arena of per-repair buffers (heap storage, epoch stamps) whose
+// recycling is only sound while exactly one repair runs at a time.
+//
+//hypatia:confined
+type repairScratch struct {
+	heap  []int
+	stamp []int64
+}
+
+func repairOne(dst int, sc *repairScratch) {
+	sc.stamp = append(sc.stamp, int64(dst))
+}
+
+// parallelRepairs fans per-destination repairs out to worker goroutines but
+// hands every worker the same scratch: the loop-launched goroutines all
+// reach one arena concurrently, and the epoch stamps it carries go racy.
+func parallelRepairs(dsts []int) {
+	sc := &repairScratch{}
+	for _, d := range dsts {
+		go repairOne(d, sc) // want confinement
+	}
+}
+
+// sequentialRepairs reuses one scratch across every destination inside a
+// single goroutine — the sound pattern the incremental engine relies on.
+func sequentialRepairs(dsts []int) {
+	sc := &repairScratch{}
+	for _, d := range dsts {
+		repairOne(d, sc)
+	}
+}
+
 // The analysis honors //hypatia:confined only on type declarations and
 // struct fields, and //hypatia:transfer only on functions and methods;
 // anywhere else they are dead weight and reported.

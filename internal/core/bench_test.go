@@ -122,10 +122,32 @@ func BenchmarkForwardingStatePipelined(b *testing.B) {
 	cfg := RunConfig{}.withDefaults()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p := newPipeline(topo, nil, nil, cfg.Workers, cfg.Lookahead, times)
+		p := newPipeline(topo, nil, nil, cfg.Workers, cfg.Lookahead, times, false)
 		for range times {
 			p.next().Release()
 		}
 		p.close()
+	}
+}
+
+// BenchmarkForwardingStateIncremental measures the incremental engine in
+// steady state on the same workload shape: 8 consecutive 100 ms instants
+// per op. The engine is primed once outside the timer (the first instant
+// pays a full visibility scan and per-destination Dijkstra seeding) and
+// time keeps advancing across ops, so every measured Step is the honest
+// small-drift repair case the engine exists for. Compare ns/op directly
+// against BenchmarkForwardingStateSerial — both compute 8 full tables per
+// op; bench.sh emits the ratio as serial_over_incremental.
+func BenchmarkForwardingStateIncremental(b *testing.B) {
+	topo := benchKuiperTopo(b)
+	eng := routing.NewIncrementalEngine(topo, nil)
+	at := sim.Time(0)
+	eng.Step(at.Seconds(), nil).Release()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 8; j++ {
+			at += 100 * sim.Millisecond
+			eng.Step(at.Seconds(), nil).Release()
+		}
 	}
 }

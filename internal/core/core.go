@@ -55,6 +55,16 @@ type RunConfig struct {
 	// forwarding state to install. This is the paper's "any routing
 	// strategy implementable with static routes" extension point.
 	Strategy Strategy
+	// NoIncremental disables the incremental forwarding-state engine and
+	// recomputes every instant from scratch on the worker pool. The default
+	// (incremental) path carries per-destination settle orders across
+	// instants and re-solves each tree in that order over the delta layer's
+	// cached-visibility snapshots; its tables are
+	// bitwise identical to the from-scratch ones — proven by the oracle in
+	// hypatia_checks builds and the differential suite — so this switch
+	// exists for A/B benchmarking, not correctness. Custom strategies are
+	// always computed from scratch regardless.
+	NoIncremental bool
 }
 
 // Strategy computes a forwarding table from a topology snapshot. active
@@ -151,7 +161,7 @@ func NewRun(cfg RunConfig) (*Run, error) {
 	for at := sim.Time(0); at <= cfg.Duration; at += cfg.UpdateInterval {
 		times = append(times, at)
 	}
-	r.pipe = newPipeline(topo, cfg.Strategy, cfg.ActiveDstGS, cfg.Workers, cfg.Lookahead, times)
+	r.pipe = newPipeline(topo, cfg.Strategy, cfg.ActiveDstGS, cfg.Workers, cfg.Lookahead, times, !cfg.NoIncremental)
 
 	net.InstallForwarding(r.pipe.next())
 	r.updatesInstalled++

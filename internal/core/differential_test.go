@@ -48,41 +48,45 @@ func serialReference(topo *routing.Topology, at sim.Time, active []int) *routing
 }
 
 // TestDifferentialPipelineMatchesSerial is the differential harness for the
-// pipelined engine: over randomized update instants, both GSL policies, and
-// randomized active-destination subsets (including nil = all), every table
-// the pipeline delivers must be byte-identical to the serial computation.
+// pipelined engine, in both its modes: over randomized update instants,
+// both GSL policies, and randomized active-destination subsets (including
+// nil = all), every table the pipeline delivers — from the from-scratch
+// worker pool and from the incremental producer alike — must be
+// byte-identical to the serial computation.
 func TestDifferentialPipelineMatchesSerial(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	for _, policy := range []routing.GSLPolicy{routing.GSLFree, routing.GSLNearestOnly} {
-		topo := differentialTopo(t, policy)
-		for trial := 0; trial < 3; trial++ {
-			times := randomInstants(rng, 8)
-			// Trial 0 computes all destinations; later trials a random
-			// nonempty subset.
-			var active []int
-			if trial > 0 {
-				for gs := 0; gs < topo.NumGS(); gs++ {
-					if rng.Intn(2) == 0 {
-						active = append(active, gs)
+	for _, incremental := range []bool{false, true} {
+		for _, policy := range []routing.GSLPolicy{routing.GSLFree, routing.GSLNearestOnly} {
+			topo := differentialTopo(t, policy)
+			for trial := 0; trial < 3; trial++ {
+				times := randomInstants(rng, 8)
+				// Trial 0 computes all destinations; later trials a random
+				// nonempty subset.
+				var active []int
+				if trial > 0 {
+					for gs := 0; gs < topo.NumGS(); gs++ {
+						if rng.Intn(2) == 0 {
+							active = append(active, gs)
+						}
+					}
+					if len(active) == 0 {
+						active = []int{rng.Intn(topo.NumGS())}
 					}
 				}
-				if len(active) == 0 {
-					active = []int{rng.Intn(topo.NumGS())}
+				workers := 1 + rng.Intn(4)
+				lookahead := 1 + rng.Intn(6)
+				p := newPipeline(topo, nil, active, workers, lookahead, times, incremental)
+				for i, at := range times {
+					got := p.next()
+					want := serialReference(topo, at, active)
+					if !got.Equal(want) {
+						t.Fatalf("incremental=%v policy %v trial %d instant %d (t=%v, workers=%d, lookahead=%d): pipeline table differs from serial",
+							incremental, policy, trial, i, at, workers, lookahead)
+					}
+					got.Release()
 				}
+				p.close()
 			}
-			workers := 1 + rng.Intn(4)
-			lookahead := 1 + rng.Intn(6)
-			p := newPipeline(topo, nil, active, workers, lookahead, times)
-			for i, at := range times {
-				got := p.next()
-				want := serialReference(topo, at, active)
-				if !got.Equal(want) {
-					t.Fatalf("policy %v trial %d instant %d (t=%v, workers=%d, lookahead=%d): pipelined table differs from serial",
-						policy, trial, i, at, workers, lookahead)
-				}
-				got.Release()
-			}
-			p.close()
 		}
 	}
 }
@@ -97,7 +101,7 @@ func TestDifferentialPipelineCustomStrategy(t *testing.T) {
 	strategy := AvoidNodes(ShortestPath, avoid...)
 	times := randomInstants(rng, 6)
 	active := []int{0, 2}
-	p := newPipeline(topo, strategy, active, 3, 4, times)
+	p := newPipeline(topo, strategy, active, 3, 4, times, true)
 	for i, at := range times {
 		got := p.next()
 		want := strategy(topo.Snapshot(at.Seconds()), active, 1)
@@ -109,6 +113,111 @@ func TestDifferentialPipelineCustomStrategy(t *testing.T) {
 	p.close()
 }
 
+// incrementalOracle is the from-scratch reference for one instant under an
+// optional avoid set: the AvoidNodes strategy applied to a fresh serial
+// snapshot — the exact computation the incremental engine replaces.
+func incrementalOracle(topo *routing.Topology, at sim.Time, active, avoid []int) *routing.ForwardingTable {
+	if len(avoid) == 0 {
+		return ShortestPath(topo.Snapshot(at.Seconds()), active, 1)
+	}
+	return AvoidNodes(ShortestPath, avoid...)(topo.Snapshot(at.Seconds()), active, 1)
+}
+
+// runIncrementalSequence drives one randomized instant sequence through a
+// routing.IncrementalEngine — drifting weights, GSL visibility flips,
+// per-instant active sets, and mid-sequence strategy switches between plain
+// shortest path and changing AvoidNodes sets — and requires every table to
+// be byte-identical to the from-scratch oracle. It reports the number of
+// instants verified.
+func runIncrementalSequence(t *testing.T, topo *routing.Topology, rng *rand.Rand, instants int) int {
+	t.Helper()
+	eng := routing.NewIncrementalEngine(topo, nil)
+	var avoid []int
+	at := sim.Time(0)
+	for step := 0; step < instants; step++ {
+		// Mostly small 100 ms drifts, occasionally a coarse jump that
+		// forces real visibility flips between consecutive instants.
+		if rng.Intn(4) == 0 {
+			at += sim.Time(1+rng.Intn(300)) * sim.Second / 10
+		} else {
+			at += 100 * sim.Millisecond
+		}
+		var active []int
+		switch rng.Intn(3) {
+		case 0: // all destinations
+		case 1:
+			active = []int{rng.Intn(topo.NumGS())}
+		default:
+			for gs := 0; gs < topo.NumGS(); gs++ {
+				if rng.Intn(2) == 0 {
+					active = append(active, gs)
+				}
+			}
+			if len(active) == 0 {
+				active = nil
+			}
+		}
+		if rng.Intn(3) == 0 { // strategy switch
+			avoid = avoid[:0]
+			for i := rng.Intn(4); i > 0; i-- {
+				avoid = append(avoid, rng.Intn(topo.NumSats()))
+			}
+			eng.SetAvoid(avoid...)
+		}
+		got := eng.Step(at.Seconds(), active)
+		if want := incrementalOracle(topo, at, active, avoid); !got.Equal(want) {
+			t.Fatalf("step %d (t=%v, active=%v, avoid=%v): incremental table differs from from-scratch oracle",
+				step, at, active, avoid)
+		}
+		got.Release()
+	}
+	return instants
+}
+
+// TestDifferentialIncrementalSequences is the acceptance harness for the
+// incremental engine: 100+ independently randomized instant sequences per
+// run, spanning both GSL policies, fuzzed weight drifts and visibility
+// flips (time steps from 100 ms to 30 s), fuzzed AvoidNodes sets, and
+// strategy switches, every instant proven byte-identical to the
+// from-scratch computation.
+func TestDifferentialIncrementalSequences(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sequences, verified := 0, 0
+	for _, policy := range []routing.GSLPolicy{routing.GSLFree, routing.GSLNearestOnly} {
+		topo := differentialTopo(t, policy)
+		for trial := 0; trial < 52; trial++ {
+			verified += runIncrementalSequence(t, topo, rng, 4+rng.Intn(4))
+			sequences++
+		}
+	}
+	if sequences < 100 {
+		t.Fatalf("only %d sequences run; the acceptance bar is 100", sequences)
+	}
+	t.Logf("verified %d instants across %d randomized sequences", verified, sequences)
+}
+
+// FuzzIncrementalForwarding lets the fuzzer pick the sequence shape. Every
+// input replays a full differential comparison, so any counterexample the
+// fuzzer finds is a real byte-level divergence between the incremental and
+// from-scratch engines.
+func FuzzIncrementalForwarding(f *testing.F) {
+	f.Add(int64(1), uint8(4), false)
+	f.Add(int64(7), uint8(8), true)
+	f.Add(int64(42), uint8(12), false)
+	f.Add(int64(1234), uint8(6), true)
+	f.Fuzz(func(t *testing.T, seed int64, instants uint8, nearest bool) {
+		if instants == 0 || instants > 16 {
+			t.Skip()
+		}
+		policy := routing.GSLFree
+		if nearest {
+			policy = routing.GSLNearestOnly
+		}
+		topo := differentialTopo(t, policy)
+		runIncrementalSequence(t, topo, rand.New(rand.NewSource(seed)), int(instants))
+	})
+}
+
 // TestDifferentialTableReuseAcrossInstants stresses the recycle path the
 // way a run uses it — release table i only after popping table i+1 — and
 // re-verifies each table against the serial reference right before its
@@ -117,7 +226,7 @@ func TestDifferentialTableReuseAcrossInstants(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	topo := differentialTopo(t, routing.GSLFree)
 	times := randomInstants(rng, 10)
-	p := newPipeline(topo, nil, nil, 2, 2, times)
+	p := newPipeline(topo, nil, nil, 2, 2, times, true)
 	var held *routing.ForwardingTable
 	heldIdx := -1
 	for i, at := range times {

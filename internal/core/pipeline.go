@@ -53,10 +53,24 @@ type pipeline struct {
 	wg      sync.WaitGroup
 }
 
-// newPipeline starts the worker pool over the given update instants.
-// workers bounds total parallelism, lookahead bounds how many instants may
-// be in flight (computing or completed-but-uninstalled) ahead of the DES.
-func newPipeline(topo *routing.Topology, strategy Strategy, active []int, workers, lookahead int, times []sim.Time) *pipeline {
+// newPipeline starts the precomputation engine over the given update
+// instants. workers bounds total parallelism, lookahead bounds how many
+// instants may be in flight (computing or completed-but-uninstalled) ahead
+// of the DES.
+//
+// With incremental set (and no custom strategy), the worker pool is
+// replaced by a single producer goroutine owning a routing.
+// IncrementalEngine: between consecutive instants every link weight drifts
+// slightly but the per-destination settle orders barely move, so re-solving
+// each tree in its carried order (heap work only where the order went
+// stale) over the delta layer's cached-visibility snapshots is far cheaper
+// than recomputing each instant from scratch — and the chain is inherently
+// sequential, so one goroutine replaces the pool. Tables are bitwise identical either way (the
+// hypatia_checks build re-derives every column from scratch inside the
+// engine and the differential suite proves the same end to end), so the
+// choice of engine cannot affect simulation results. Custom strategies are
+// opaque functions and always take the from-scratch worker pool.
+func newPipeline(topo *routing.Topology, strategy Strategy, active []int, workers, lookahead int, times []sim.Time, incremental bool) *pipeline {
 	if workers < 1 {
 		workers = 1
 	}
@@ -86,11 +100,35 @@ func newPipeline(topo *routing.Topology, strategy Strategy, active []int, worker
 	for i := 0; i < lookahead; i++ {
 		p.tokens <- struct{}{}
 	}
+	if incremental && strategy == nil {
+		p.wg.Add(1)
+		go p.producer()
+		return p
+	}
 	for w := 0; w < width; w++ {
 		p.wg.Add(1)
 		go p.worker()
 	}
 	return p
+}
+
+// producer is the incremental counterpart of the worker pool: one goroutine
+// walks the instants in order, repairing forwarding state across each step,
+// under the same token discipline (one token per in-flight instant, returned
+// by the consumer's pop), so the lookahead memory bound is unchanged.
+func (p *pipeline) producer() {
+	defer p.wg.Done()
+	eng := routing.NewIncrementalEngine(p.topo, &p.pool)
+	for i := range p.times {
+		select {
+		case <-p.tokens:
+		case <-p.done:
+			return
+		}
+		// Buffered (cap 1) and written exactly once per instant: the send
+		// never blocks.
+		p.results[i] <- eng.Step(p.times[i].Seconds(), p.active)
+	}
 }
 
 // worker claims instants in order and computes their forwarding state with

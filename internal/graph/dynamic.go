@@ -1,0 +1,580 @@
+// Dynamic shortest-path maintenance: diffing two graphs into a changed-edge
+// list and repairing an existing single-source shortest-path tree in place
+// instead of recomputing it from scratch.
+//
+// The forwarding-state engine rebuilds its topology graph every update
+// instant, but between consecutive instants only link weights drift and a
+// handful of edges appear or vanish — the shortest-path trees themselves
+// barely move. RepairSSSP exploits that: it re-propagates distances along
+// the surviving predecessor tree (no heap), then runs Dijkstra only over
+// the region whose tree actually changed. The repaired arrays are bitwise
+// identical to a fresh DijkstraScratch run on the new graph — Dijkstra's
+// output is a canonical function of the graph (distances are the minimum
+// over paths of left-associated float sums; predecessors are the
+// (dist, id)-minimal achiever of each distance), and the repair converges
+// to the same fixpoint. The differential and property tests in
+// dynamic_test.go hold it to exactly that bar.
+//
+// All functions assume simple graphs (no parallel edges), which the
+// topology builders guarantee by construction.
+
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// EdgeChange records one undirected edge (A < B) that differs between an
+// old and a new graph over the same node set. A negative weight encodes
+// absence: OldW < 0 means the edge was inserted, NewW < 0 means it was
+// removed; otherwise the weight changed from OldW to NewW.
+type EdgeChange struct {
+	A, B       int32
+	OldW, NewW float64
+}
+
+// DiffScratch holds the per-node weight slots DiffInto reuses across calls.
+// The zero value is ready for use; a DiffScratch must not be shared between
+// concurrent DiffInto calls.
+//
+//hypatia:confined
+type DiffScratch struct {
+	w     []float64
+	stamp []int64
+	gen   int64
+}
+
+// DiffInto appends to out[:0] every edge that differs between old and new
+// (same node count required) and returns the slice. Weights are compared
+// bitwise: the topology builders recompute identical geometry identically,
+// so an unchanged link produces an unchanged float.
+//
+//hypatia:pure
+func DiffInto(oldG, newG *Graph, out []EdgeChange, sc *DiffScratch) []EdgeChange {
+	if oldG.n != newG.n {
+		panic(fmt.Sprintf("graph: diff over different node counts %d vs %d", oldG.n, newG.n))
+	}
+	n := oldG.n
+	if cap(sc.stamp) < n {
+		sc.stamp = make([]int64, n)
+		sc.w = make([]float64, n)
+	}
+	sc.stamp = sc.stamp[:n]
+	sc.w = sc.w[:n]
+	out = out[:0]
+	for v := 0; v < n; v++ {
+		sc.gen++
+		g := sc.gen
+		oldAdj := oldG.adj[v]
+		for _, e := range oldAdj {
+			if int(e.To) > v {
+				sc.w[e.To] = e.W
+				sc.stamp[e.To] = g
+			}
+		}
+		for _, e := range newG.adj[v] {
+			if int(e.To) <= v {
+				continue
+			}
+			if sc.stamp[e.To] == g {
+				//lint:ignore timeunits bitwise weight identity is the diff criterion
+				if sc.w[e.To] != e.W {
+					out = append(out, EdgeChange{A: int32(v), B: e.To, OldW: sc.w[e.To], NewW: e.W})
+				}
+				sc.stamp[e.To] = ^g // matched; ^g never collides with a future gen
+			} else {
+				out = append(out, EdgeChange{A: int32(v), B: e.To, OldW: -1, NewW: e.W})
+			}
+		}
+		for _, e := range oldAdj {
+			if int(e.To) > v && sc.stamp[e.To] == g {
+				out = append(out, EdgeChange{A: int32(v), B: e.To, OldW: e.W, NewW: -1})
+				sc.stamp[e.To] = ^g
+			}
+		}
+	}
+	return out
+}
+
+// RepairScratch holds the reusable workspaces of RepairSSSP: the Dijkstra
+// heap for the affected region, the predecessor-tree child index, the
+// traversal stack, the touched-node epochs, and an order buffer for the
+// dense path. The zero value is ready for use; a RepairScratch must not be
+// shared between concurrent repairs.
+//
+//hypatia:confined
+type RepairScratch struct {
+	h         indexedHeap
+	childOff  []int32
+	childBuf  []int32
+	stack     []int32
+	roots     []int32
+	touchList []int32
+	tieList   []int32
+	stampArr  []int64
+	stampGen  int64
+	orderBuf  []int32
+}
+
+// RepairSSSP patches dist and prev — a valid single-source shortest-path
+// solution for src on a previous graph with the same node count — into the
+// solution for g, given the edge changes between the two graphs (as from
+// DiffInto). Both arrays are updated in place; the repaired result is
+// bitwise identical to g.DijkstraScratch(src, ...) run from scratch.
+//
+// Cost is O(V + E) in the worst case (every weight drifted) but with no
+// heap work outside the region whose shortest-path tree changed; for a
+// sparse change list it touches only the changed edges, the subtrees they
+// detach, and the frontier the repair grows back over.
+//
+//hypatia:pure
+func (g *Graph) RepairSSSP(src int, dist []float64, prev []int32, changes []EdgeChange, sc *RepairScratch) {
+	if src < 0 || src >= g.n {
+		panic(fmt.Sprintf("graph: source %d out of range", src))
+	}
+	if len(dist) != g.n || len(prev) != g.n {
+		panic(fmt.Sprintf("graph: repair arrays sized %d/%d for %d nodes", len(dist), len(prev), g.n))
+	}
+	if len(changes) == 0 {
+		return
+	}
+	// A change list covering a large fraction of the edge set (the
+	// constellation case: every link weight drifts every instant) is
+	// cheaper to handle by re-solving in the old solution's settle order
+	// than by classifying individual subtrees. The old distances define
+	// that order; RepairSSSPDense lets callers who keep the order across
+	// repairs skip this sort.
+	if 8*len(changes) >= g.n+g.NumEdges() {
+		if cap(sc.orderBuf) < g.n {
+			sc.orderBuf = make([]int32, g.n)
+		}
+		sc.orderBuf = sc.orderBuf[:g.n]
+		for i := range sc.orderBuf {
+			sc.orderBuf[i] = int32(i)
+		}
+		sortByDist(sc.orderBuf, dist)
+		g.RepairSSSPDense(src, dist, prev, sc.orderBuf, sc)
+		return
+	}
+	g.repairSparse(src, dist, prev, changes, sc)
+}
+
+// orderCmp is the settle-order comparator: by distance, then node id —
+// exactly Dijkstra's pop order.
+//
+//hypatia:pure
+func orderCmp(dist []float64, a, b int32) int {
+	da, db := dist[a], dist[b]
+	if da < db {
+		return -1
+	}
+	if da > db {
+		return 1
+	}
+	return int(a) - int(b)
+}
+
+// sortByDist sorts order into Dijkstra's settle order for dist (orderCmp):
+// an in-place heapsort. The comparator's key (dist, id) is unique per node,
+// so any comparison sort yields the same permutation; heapsort keeps the
+// lazy order refresh allocation-free and, unlike slices.SortFunc, inside
+// the machine-checked purity contract.
+//
+//hypatia:pure
+func sortByDist(order []int32, dist []float64) {
+	n := len(order)
+	for root := n/2 - 1; root >= 0; root-- {
+		siftDownOrder(order, dist, root, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		order[0], order[end] = order[end], order[0]
+		siftDownOrder(order, dist, 0, end)
+	}
+}
+
+// siftDownOrder restores the max-heap property under orderCmp for the
+// subtree of order[:n] rooted at root.
+//
+//hypatia:pure
+func siftDownOrder(order []int32, dist []float64, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if r := child + 1; r < n && orderCmp(dist, order[r], order[child]) > 0 {
+			child = r
+		}
+		if orderCmp(dist, order[child], order[root]) <= 0 {
+			return
+		}
+		order[root], order[child] = order[child], order[root]
+		root = child
+	}
+}
+
+// buildChildren fills sc.childOff/childBuf with a CSR child index of the
+// predecessor tree in prev.
+//
+//hypatia:pure
+func (g *Graph) buildChildren(src int, prev []int32, sc *RepairScratch) {
+	n := g.n
+	if cap(sc.childOff) < n+1 {
+		sc.childOff = make([]int32, n+1)
+		sc.childBuf = make([]int32, n)
+	}
+	sc.childOff = sc.childOff[:n+1]
+	sc.childBuf = sc.childBuf[:n]
+	off := sc.childOff
+	for i := range off {
+		off[i] = 0
+	}
+	// Entries that cannot be tree edges (out of range, self-referencing) are
+	// skipped rather than rejected: callers may hand in arbitrary stale prev
+	// arrays, and whatever this index omits is simply re-solved from scratch.
+	for v := 0; v < n; v++ {
+		if v != src && prev[v] >= 0 && int(prev[v]) < n && int(prev[v]) != v {
+			off[prev[v]+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	// Fill using off[v] as a cursor, then restore by shifting: after the
+	// fill, off[v] holds the END of v's range and off[v-1] its start.
+	for v := 0; v < n; v++ {
+		if v != src && prev[v] >= 0 && int(prev[v]) < n && int(prev[v]) != v {
+			sc.childBuf[off[prev[v]]] = int32(v)
+			off[prev[v]]++
+		}
+	}
+	copy(off[1:], off[:n])
+	off[0] = 0
+}
+
+// children returns node v's child range in the CSR index.
+//
+//hypatia:pure
+func (sc *RepairScratch) children(v int32) []int32 {
+	return sc.childBuf[sc.childOff[v]:sc.childOff[v+1]]
+}
+
+// RepairSSSPDense re-solves single-source shortest paths from src for the
+// total-drift case: every weight may have changed (the constellation case —
+// all inter-satellite distances move every instant) but the settle order
+// barely does. It is Dijkstra with the priority queue replaced by order, the
+// previous solution's settle order: one sweep relaxes each node's edges at
+// its old position, and the heap is engaged only for nodes the drift
+// actually reordered (an improvement arriving after a node was swept). dist
+// and prev are fully rewritten — their prior contents may be arbitrary;
+// all the carried-over state lives in order, which must be a permutation of
+// the nodes and is refreshed in place toward the new solution's settle
+// order whenever drift has degraded it, ready for the next repair. A bad
+// order (identity on first use, stale after a coarse time jump) costs extra
+// heap work, never correctness.
+//
+// The result is bitwise identical to DijkstraScratch regardless of order:
+// the relaxation fixpoint — distances as minima over paths of
+// left-associated float sums — does not depend on sweep order, every node
+// whose distance improves post-sweep is re-settled through the heap, and
+// predecessors are re-canonicalized whenever a tie was observed. A stale
+// order costs time, never correctness.
+//
+//hypatia:pure
+func (g *Graph) RepairSSSPDense(src int, dist []float64, prev []int32, order []int32, sc *RepairScratch) {
+	n := g.n
+	if src < 0 || src >= n {
+		panic(fmt.Sprintf("graph: source %d out of range", src))
+	}
+	if len(dist) != n || len(prev) != n || len(order) != n {
+		panic(fmt.Sprintf("graph: repair arrays sized %d/%d/%d for %d nodes", len(dist), len(prev), len(order), n))
+	}
+	if cap(sc.stampArr) < n {
+		sc.stampArr = make([]int64, n)
+	}
+	sc.stampArr = sc.stampArr[:n]
+	off, csrTo, csrW := g.csr()
+	stamp := sc.stampArr
+
+	for i := range dist {
+		dist[i] = Infinity
+		prev[i] = -1
+	}
+	dist[src] = 0
+	prev[src] = int32(src)
+
+	sc.stampGen++
+	tg := sc.stampGen
+	h := &sc.h
+	h.reset(n)
+	sc.tieList = sc.tieList[:0]
+	swept := 0
+	for _, v := range order {
+		if stamp[v] != tg {
+			stamp[v] = tg
+			swept++
+		}
+		dv := dist[v]
+		//lint:ignore timeunits sentinel compare, cheaper than math.IsInf
+		if dv == Infinity {
+			// Still unreached at its slot (order stale, or genuinely
+			// unreachable). Marked swept above: if a later relaxation does
+			// reach it, that improvement routes it through the heap.
+			continue
+		}
+		for k, end := off[v], off[v+1]; k < end; k++ {
+			to := csrTo[k]
+			nd := dv + csrW[k]
+			if nd < dist[to] {
+				dist[to] = nd
+				prev[to] = v
+				if stamp[to] == tg {
+					h.push(to, nd)
+				}
+				//lint:ignore timeunits exact equality detects shortest-path ties
+			} else if nd == dist[to] && prev[to] != v && int(to) != src {
+				sc.tieList = append(sc.tieList, to)
+			}
+		}
+	}
+	if swept != n {
+		panic(fmt.Sprintf("graph: order covers %d of %d nodes; must be a permutation", swept, n))
+	}
+	// Settle the reordered region exactly as Dijkstra would, then
+	// re-canonicalize the predecessors of every node that saw a tied offer
+	// (unique-achiever nodes are already canonical). Every achiever of a
+	// node's final distance relaxes its edges at final values at least once
+	// — in its sweep slot if it was final by then, from its last heap pop
+	// otherwise — so a genuine tie always lands an exact-equality offer and
+	// gets listed; false positives (equality against a not-yet-final
+	// distance) just trigger an idempotent recanonicalization.
+	pops := g.settle(dist, prev, src, sc, nil)
+	for _, v := range sc.tieList {
+		g.canonicalPrev(src, v, dist, prev)
+	}
+	// Refresh the order only once drift has audibly degraded it. Inversions
+	// among near-equidistant nodes are constant but harmless — a violation
+	// needs a node swept before its tree parent, and that takes relative
+	// drift on the scale of a link weight — so sorting every repair buys
+	// nothing. The settle pop count is the direct measure of order quality;
+	// when it grows past n/8 (stale order after a coarse time jump, first
+	// use from the identity order) one full sort makes the order tight
+	// again. Correctness never depends on this.
+	if pops*8 > n {
+		sortByDist(order, dist)
+	}
+}
+
+// repairSparse detaches the subtrees under removed or increased tree edges,
+// seeds the heap from the changed edges and the detached frontier, and
+// settles — touching only the affected region.
+//
+//hypatia:pure
+func (g *Graph) repairSparse(src int, dist []float64, prev []int32, changes []EdgeChange, sc *RepairScratch) {
+	n := g.n
+	if cap(sc.stampArr) < n {
+		sc.stampArr = make([]int64, n)
+	}
+	sc.stampArr = sc.stampArr[:n]
+	sc.stampGen++
+	tg := sc.stampGen
+	sc.touchList = sc.touchList[:0]
+	var touch touchFn = func(v int32) {
+		if sc.stampArr[v] != tg {
+			sc.stampArr[v] = tg
+			sc.touchList = append(sc.touchList, v)
+		}
+	}
+	// Detach: a tree edge that vanished or got heavier invalidates its
+	// whole downstream subtree — those distances are no longer upper
+	// bounds. Every other node keeps its old distance, which remains an
+	// upper bound (its tree path avoids all such edges, and weights on it
+	// only decreased or held).
+	sc.roots = sc.roots[:0]
+	for _, ch := range changes {
+		if ch.OldW < 0 || (ch.NewW >= 0 && ch.NewW <= ch.OldW) {
+			continue
+		}
+		if prev[ch.B] == ch.A {
+			sc.roots = append(sc.roots, ch.B)
+		}
+		if prev[ch.A] == ch.B {
+			sc.roots = append(sc.roots, ch.A)
+		}
+	}
+	if len(sc.roots) > 0 {
+		g.buildChildren(src, prev, sc)
+		sc.stack = append(sc.stack[:0], sc.roots...)
+		for len(sc.stack) > 0 {
+			v := sc.stack[len(sc.stack)-1]
+			sc.stack = sc.stack[:len(sc.stack)-1]
+			if sc.stampArr[v] == tg {
+				continue // nested detach root already swept
+			}
+			touch(v)
+			dist[v] = math.Inf(1)
+			prev[v] = -1
+			sc.stack = append(sc.stack, sc.children(v)...)
+		}
+	}
+	detached := len(sc.touchList)
+	h := &sc.h
+	h.reset(n)
+	sc.tieList = sc.tieList[:0]
+	relax := func(u, v int32, w float64) {
+		du := dist[u]
+		if math.IsInf(du, 1) {
+			return
+		}
+		nd := du + w
+		if nd < dist[v] {
+			dist[v] = nd
+			prev[v] = u
+			touch(v)
+			h.push(v, nd)
+			//lint:ignore timeunits exact equality detects shortest-path ties
+		} else if nd == dist[v] && prev[v] != u && int(v) != src {
+			sc.tieList = append(sc.tieList, v)
+		}
+	}
+	// Seeds: surviving or inserted changed edges in both directions, plus
+	// every edge crossing from the intact region into a detached node.
+	for _, ch := range changes {
+		if ch.NewW >= 0 {
+			relax(ch.A, ch.B, ch.NewW)
+			relax(ch.B, ch.A, ch.NewW)
+		}
+	}
+	for _, v := range sc.touchList[:detached] {
+		for _, e := range g.adj[v] {
+			relax(e.To, v, e.W)
+		}
+	}
+	// Re-canonicalize exactly the nodes that saw a tied offer; every node
+	// whose achiever set changed received one. A node's achiever must have
+	// had its own distance re-established (it was touched, so all its edges
+	// were re-relaxed — from the detached-frontier seeding or its last heap
+	// pop) or sit on an explicitly re-relaxed changed edge, so a genuine tie
+	// always lands an exact-equality offer at final values; an untouched
+	// node whose neighborhood is untouched keeps its old canonical
+	// predecessor. False positives (equality against a not-yet-final
+	// distance) just trigger an idempotent recanonicalization.
+	g.settle(dist, prev, src, sc, touch)
+	for _, v := range sc.tieList {
+		g.canonicalPrev(src, v, dist, prev)
+	}
+}
+
+// touchFn observes every node whose distance a repair stage writes. The
+// purity annotation is load-bearing: settle calls its touch argument
+// dynamically, and the analyzer admits that call inside //hypatia:pure
+// bodies only through a function type that carries the contract itself —
+// implementations may write through their captured scratch but nothing
+// global.
+//
+//hypatia:pure
+type touchFn func(int32)
+
+// settle runs the Dijkstra main loop over whatever sc.h was seeded with,
+// appending every node that receives a tied offer to sc.tieList and
+// returning the number of heap pops (the dense path's measure of how stale
+// its sweep order has become). touch, when non-nil, is invoked for every
+// node whose distance it writes.
+//
+//hypatia:pure
+func (g *Graph) settle(dist []float64, prev []int32, src int, sc *RepairScratch, touch touchFn) int {
+	h := &sc.h
+	pops := 0
+	for !h.empty() {
+		pops++
+		u := h.pop()
+		du := dist[u]
+		for _, e := range g.adj[u] {
+			nd := du + e.W
+			if nd < dist[e.To] {
+				dist[e.To] = nd
+				prev[e.To] = u
+				if touch != nil {
+					touch(e.To)
+				}
+				h.push(e.To, nd)
+				//lint:ignore timeunits exact equality detects shortest-path ties
+			} else if nd == dist[e.To] && prev[e.To] != u && int(e.To) != src {
+				sc.tieList = append(sc.tieList, e.To)
+			}
+		}
+	}
+	return pops
+}
+
+// canonicalPrev recomputes prev[v] as Dijkstra would have chosen it: the
+// neighbor u minimizing (dist[u], u) among those whose relaxation achieves
+// dist[v] exactly — the first achiever in Dijkstra's deterministic pop
+// order.
+//
+//hypatia:pure
+func (g *Graph) canonicalPrev(src int, v int32, dist []float64, prev []int32) {
+	if int(v) == src {
+		prev[v] = int32(src)
+		return
+	}
+	if math.IsInf(dist[v], 1) {
+		prev[v] = -1
+		return
+	}
+	best := int32(-1)
+	for _, e := range g.adj[v] {
+		u := e.To
+		//lint:ignore timeunits achiever test must match Dijkstra's exact float relaxation
+		if dist[u]+e.W != dist[v] {
+			continue
+		}
+		//lint:ignore timeunits exact pop-order tie-break (dist, id)
+		if best < 0 || dist[u] < dist[best] || (dist[u] == dist[best] && u < best) {
+			best = u
+		}
+	}
+	if best < 0 {
+		panic(fmt.Sprintf("graph: repaired distances inconsistent: node %d has dist %v but no achieving neighbor", v, dist[v]))
+	}
+	prev[v] = best
+}
+
+// BellmanFord computes single-source shortest paths by iterated relaxation
+// until fixpoint. It is O(V·E) and exists as an algorithmically independent
+// cross-check for the Dijkstra and RepairSSSP fast paths: on non-negative
+// weights all three converge to the same distance fixpoint (the minimum
+// over paths of left-associated float sums), so distances must match
+// bitwise. Predecessors are some valid shortest-path tree but not the
+// canonical one.
+func (g *Graph) BellmanFord(src int) ([]float64, []int32) {
+	if src < 0 || src >= g.n {
+		panic(fmt.Sprintf("graph: source %d out of range", src))
+	}
+	dist := make([]float64, g.n)
+	prev := make([]int32, g.n)
+	for i := range dist {
+		dist[i] = Infinity
+		prev[i] = -1
+	}
+	dist[src] = 0
+	prev[src] = int32(src)
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < g.n; v++ {
+			dv := dist[v]
+			if math.IsInf(dv, 1) {
+				continue
+			}
+			for _, e := range g.adj[v] {
+				if nd := dv + e.W; nd < dist[e.To] {
+					dist[e.To] = nd
+					prev[e.To] = int32(v)
+					changed = true
+				}
+			}
+		}
+	}
+	return dist, prev
+}

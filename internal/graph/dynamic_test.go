@@ -1,0 +1,394 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// edgeKey identifies an undirected edge for test bookkeeping.
+type edgeKey struct{ a, b int32 }
+
+// edgeSet extracts a graph's undirected edge set with weights.
+func edgeSet(g *Graph) map[edgeKey]float64 {
+	m := map[edgeKey]float64{}
+	for v := 0; v < g.N(); v++ {
+		for _, e := range g.Neighbors(v) {
+			if int(e.To) > v {
+				m[edgeKey{int32(v), e.To}] = e.W
+			}
+		}
+	}
+	return m
+}
+
+// fromEdgeSet builds a graph over n nodes from an edge set.
+func fromEdgeSet(n int, m map[edgeKey]float64) *Graph {
+	g := New(n)
+	// Deterministic insertion order is irrelevant for results (Dijkstra's
+	// output is canonical) but keeps failures reproducible.
+	for v := 0; v < n; v++ {
+		for u := v + 1; u < n; u++ {
+			if w, ok := m[edgeKey{int32(v), int32(u)}]; ok {
+				g.AddEdge(v, u, w)
+			}
+		}
+	}
+	return g
+}
+
+// randomEdgeSet draws a connected-ish random graph. Integer weights force
+// shortest-path ties; float weights exercise the generic drift case.
+func randomEdgeSet(rng *rand.Rand, n int, extraEdges int, intWeights bool) map[edgeKey]float64 {
+	w := func() float64 {
+		if intWeights {
+			return float64(1 + rng.Intn(4))
+		}
+		return 1 + 10*rng.Float64()
+	}
+	m := map[edgeKey]float64{}
+	for v := 1; v < n; v++ {
+		u := rng.Intn(v)
+		m[edgeKey{int32(u), int32(v)}] = w()
+	}
+	for i := 0; i < extraEdges; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		m[edgeKey{int32(a), int32(b)}] = w()
+	}
+	return m
+}
+
+// mutateEdgeSet applies k random mutations — weight drifts, removals, and
+// insertions — and returns the new edge set.
+func mutateEdgeSet(rng *rand.Rand, n int, old map[edgeKey]float64, k int, intWeights bool) map[edgeKey]float64 {
+	m := map[edgeKey]float64{}
+	for key, w := range old {
+		m[key] = w
+	}
+	keys := make([]edgeKey, 0, len(m))
+	for key := range old {
+		keys = append(keys, key)
+	}
+	for i := 0; i < k; i++ {
+		switch op := rng.Intn(3); {
+		case op == 0 && len(keys) > 0: // drift
+			key := keys[rng.Intn(len(keys))]
+			if _, ok := m[key]; ok {
+				if intWeights {
+					m[key] = float64(1 + rng.Intn(4))
+				} else {
+					m[key] *= 0.8 + 0.4*rng.Float64()
+				}
+			}
+		case op == 1 && len(keys) > 0: // remove
+			delete(m, keys[rng.Intn(len(keys))])
+		default: // insert
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			if intWeights {
+				m[edgeKey{int32(a), int32(b)}] = float64(1 + rng.Intn(4))
+			} else {
+				m[edgeKey{int32(a), int32(b)}] = 1 + 10*rng.Float64()
+			}
+		}
+	}
+	return m
+}
+
+func sameSSSP(t *testing.T, tag string, dist, wantDist []float64, prev, wantPrev []int32) {
+	t.Helper()
+	for i := range dist {
+		if dist[i] != wantDist[i] || prev[i] != wantPrev[i] {
+			t.Fatalf("%s: node %d: got (dist=%v, prev=%d), scratch Dijkstra gives (dist=%v, prev=%d)",
+				tag, i, dist[i], prev[i], wantDist[i], wantPrev[i])
+		}
+	}
+}
+
+// TestDiffIntoReconstructs proves the changed-edge list is exactly the set
+// difference: applying it to the old edge set reproduces the new one.
+func TestDiffIntoReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var sc DiffScratch
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + rng.Intn(30)
+		oldSet := randomEdgeSet(rng, n, rng.Intn(2*n), trial%2 == 0)
+		newSet := mutateEdgeSet(rng, n, oldSet, rng.Intn(12), trial%2 == 0)
+		oldG, newG := fromEdgeSet(n, oldSet), fromEdgeSet(n, newSet)
+		changes := DiffInto(oldG, newG, nil, &sc)
+		applied := map[edgeKey]float64{}
+		for k, w := range oldSet {
+			applied[k] = w
+		}
+		for _, ch := range changes {
+			if ch.A >= ch.B {
+				t.Fatalf("change %+v not canonical (A < B)", ch)
+			}
+			key := edgeKey{ch.A, ch.B}
+			if ch.OldW >= 0 && applied[key] != ch.OldW {
+				t.Fatalf("change %+v: old weight disagrees with edge set (%v)", ch, applied[key])
+			}
+			if ch.OldW < 0 {
+				if _, ok := applied[key]; ok {
+					t.Fatalf("change %+v claims insertion but edge existed", ch)
+				}
+			}
+			if ch.NewW < 0 {
+				delete(applied, key)
+			} else {
+				applied[key] = ch.NewW
+			}
+		}
+		if len(applied) != len(newSet) {
+			t.Fatalf("trial %d: applying diff gives %d edges, want %d", trial, len(applied), len(newSet))
+		}
+		for k, w := range newSet {
+			if applied[k] != w {
+				t.Fatalf("trial %d: edge %v = %v after diff, want %v", trial, k, applied[k], w)
+			}
+		}
+		if got := DiffInto(oldG, oldG, changes, &sc); len(got) != 0 {
+			t.Fatalf("diff of identical graphs nonempty: %v", got)
+		}
+	}
+}
+
+// TestRepairSSSPMatchesDijkstra is the core property: repairing the old
+// solution over the diff is bitwise identical to running Dijkstra from
+// scratch on the new graph — distances and predecessors both — for float
+// and tie-heavy integer weights alike, on both repair paths.
+func TestRepairSSSPMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	var dsc DiffScratch
+	var rsc RepairScratch
+	for trial := 0; trial < 120; trial++ {
+		n := 4 + rng.Intn(40)
+		intW := trial%3 == 0
+		oldSet := randomEdgeSet(rng, n, rng.Intn(3*n), intW)
+		newSet := mutateEdgeSet(rng, n, oldSet, 1+rng.Intn(2+n/2), intW)
+		oldG, newG := fromEdgeSet(n, oldSet), fromEdgeSet(n, newSet)
+		changes := DiffInto(oldG, newG, nil, &dsc)
+		src := rng.Intn(n)
+		wantDist, wantPrev := newG.Dijkstra(src, nil, nil)
+		baseDist, basePrev := oldG.Dijkstra(src, nil, nil)
+
+		// The public entry point (threshold-selected path).
+		dist := append([]float64(nil), baseDist...)
+		prev := append([]int32(nil), basePrev...)
+		newG.RepairSSSP(src, dist, prev, changes, &rsc)
+		sameSSSP(t, "RepairSSSP", dist, wantDist, prev, wantPrev)
+
+		// Both internal paths must agree regardless of the threshold.
+		if len(changes) > 0 {
+			// Dense path, once seeded with the old solution's settle order
+			// and once with a deliberately stale (identity) order: order
+			// affects cost only, never the result.
+			order := make([]int32, newG.N())
+			for i := range order {
+				order[i] = int32(i)
+			}
+			slices.SortFunc(order, func(a, b int32) int { return orderCmp(baseDist, a, b) })
+			dist = append(dist[:0], baseDist...)
+			prev = append(prev[:0], basePrev...)
+			newG.RepairSSSPDense(src, dist, prev, order, &rsc)
+			sameSSSP(t, "RepairSSSPDense", dist, wantDist, prev, wantPrev)
+			// The maintained order must remain a usable permutation: a
+			// second repair over it (same graph, so changes are empty in
+			// spirit) must reproduce the same solution.
+			newG.RepairSSSPDense(src, dist, prev, order, &rsc)
+			sameSSSP(t, "RepairSSSPDense/again", dist, wantDist, prev, wantPrev)
+
+			for i := range order {
+				order[i] = int32(i)
+			}
+			for i := range dist {
+				dist[i] = -1 // dense path must not read prior dist/prev
+				prev[i] = -7
+			}
+			newG.RepairSSSPDense(src, dist, prev, order, &rsc)
+			sameSSSP(t, "RepairSSSPDense/staleOrder", dist, wantDist, prev, wantPrev)
+
+			dist = append(dist[:0], baseDist...)
+			prev = append(prev[:0], basePrev...)
+			newG.repairSparse(src, dist, prev, changes, &rsc)
+			sameSSSP(t, "repairSparse", dist, wantDist, prev, wantPrev)
+		}
+	}
+}
+
+// TestRepairSSSPChain carries one solution through a long mutation chain,
+// repairing in place at every step — the exact usage pattern of the
+// incremental forwarding-state engine.
+func TestRepairSSSPChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var dsc DiffScratch
+	var rsc RepairScratch
+	n := 30
+	cur := randomEdgeSet(rng, n, 2*n, false)
+	g := fromEdgeSet(n, cur)
+	src := 7
+	dist, prev := g.Dijkstra(src, nil, nil)
+	for step := 0; step < 60; step++ {
+		next := mutateEdgeSet(rng, n, cur, 1+rng.Intn(6), step%4 == 0)
+		ng := fromEdgeSet(n, next)
+		changes := DiffInto(g, ng, nil, &dsc)
+		ng.RepairSSSP(src, dist, prev, changes, &rsc)
+		wantDist, wantPrev := ng.Dijkstra(src, nil, nil)
+		sameSSSP(t, "chain", dist, wantDist, prev, wantPrev)
+		cur, g = next, ng
+	}
+}
+
+// TestRepairSSSPBellmanFord cross-checks the repaired solution against the
+// algorithmically independent Bellman-Ford fixpoint: distances bitwise
+// equal, predecessor tree loop-free and achieving those distances.
+func TestRepairSSSPBellmanFord(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	var dsc DiffScratch
+	var rsc RepairScratch
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(25)
+		intW := trial%2 == 0
+		oldSet := randomEdgeSet(rng, n, rng.Intn(2*n), intW)
+		newSet := mutateEdgeSet(rng, n, oldSet, 1+rng.Intn(8), intW)
+		oldG, newG := fromEdgeSet(n, oldSet), fromEdgeSet(n, newSet)
+		src := rng.Intn(n)
+		dist, prev := oldG.Dijkstra(src, nil, nil)
+		newG.RepairSSSP(src, dist, prev, DiffInto(oldG, newG, nil, &dsc), &rsc)
+
+		bfDist, _ := newG.BellmanFord(src)
+		for v := range bfDist {
+			if dist[v] != bfDist[v] {
+				t.Fatalf("trial %d node %d: repaired dist %v, Bellman-Ford %v", trial, v, dist[v], bfDist[v])
+			}
+		}
+		for v := 0; v < n; v++ {
+			switch {
+			case v == src:
+				if prev[v] != int32(src) {
+					t.Fatalf("prev[src] = %d", prev[v])
+				}
+			case math.IsInf(dist[v], 1):
+				if prev[v] != -1 {
+					t.Fatalf("unreachable node %d has prev %d", v, prev[v])
+				}
+			default:
+				if PathFromPrev(prev, src, v) == nil {
+					t.Fatalf("node %d reachable (dist %v) but prev tree yields no path", v, dist[v])
+				}
+				achieved := false
+				for _, e := range newG.Neighbors(v) {
+					if e.To == prev[v] && dist[prev[v]]+e.W == dist[v] {
+						achieved = true
+						break
+					}
+				}
+				if !achieved {
+					t.Fatalf("node %d: prev %d does not achieve dist %v", v, prev[v], dist[v])
+				}
+			}
+		}
+	}
+}
+
+// TestRepairSSSPUntouchedRegion pins the locality contract: with changes
+// confined to one connected component, the other component's distance and
+// predecessor entries come out bitwise unchanged.
+func TestRepairSSSPUntouchedRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	var dsc DiffScratch
+	var rsc RepairScratch
+	nA, nB := 12, 12
+	n := nA + nB
+	set := map[edgeKey]float64{}
+	// Component A on nodes [0,nA), component B on [nA, n); no cross edges.
+	for v := 1; v < nA; v++ {
+		set[edgeKey{int32(rng.Intn(v)), int32(v)}] = 1 + 10*rng.Float64()
+	}
+	for v := nA + 1; v < n; v++ {
+		set[edgeKey{int32(nA + rng.Intn(v-nA)), int32(v)}] = 1 + 10*rng.Float64()
+	}
+	g := fromEdgeSet(n, set)
+	src := 0 // in component A; component B is unreachable
+	dist, prev := g.Dijkstra(src, nil, nil)
+	for step := 0; step < 20; step++ {
+		next := map[edgeKey]float64{}
+		for k, w := range set {
+			next[k] = w
+		}
+		// Mutate only component-A edges.
+		for k := range set {
+			if int(k.b) < nA && rng.Intn(3) == 0 {
+				next[k] = 1 + 10*rng.Float64()
+			}
+		}
+		ng := fromEdgeSet(n, next)
+		changes := DiffInto(g, ng, nil, &dsc)
+		before := append([]float64(nil), dist[nA:]...)
+		ng.RepairSSSP(src, dist, prev, changes, &rsc)
+		for i, want := range before {
+			if dist[nA+i] != want || prev[nA+i] != -1 {
+				t.Fatalf("step %d: untouched component entry %d changed: dist %v→%v prev %d",
+					step, nA+i, want, dist[nA+i], prev[nA+i])
+			}
+		}
+		wantDist, wantPrev := ng.Dijkstra(src, nil, nil)
+		sameSSSP(t, "untouched", dist, wantDist, prev, wantPrev)
+		set, g = next, ng
+	}
+}
+
+// TestRepairSSSPNoChanges: an empty change list must leave the arrays
+// untouched (the engine skips instants whose graphs are identical).
+func TestRepairSSSPNoChanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	var rsc RepairScratch
+	g := fromEdgeSet(10, randomEdgeSet(rng, 10, 12, false))
+	dist, prev := g.Dijkstra(3, nil, nil)
+	d2 := append([]float64(nil), dist...)
+	p2 := append([]int32(nil), prev...)
+	g.RepairSSSP(3, d2, p2, nil, &rsc)
+	sameSSSP(t, "nochange", d2, dist, p2, prev)
+}
+
+// FuzzRepairSSSP drives the repair with fuzzer-chosen topology mutations;
+// the oracle is always a from-scratch Dijkstra on the mutated graph.
+func FuzzRepairSSSP(f *testing.F) {
+	f.Add(int64(1), 10, 8, false)
+	f.Add(int64(2), 25, 40, true)
+	f.Add(int64(3), 6, 2, false)
+	f.Add(int64(4), 50, 100, true)
+	f.Fuzz(func(t *testing.T, seed int64, n, mutations int, intW bool) {
+		if n < 2 || n > 200 || mutations < 0 || mutations > 400 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var dsc DiffScratch
+		var rsc RepairScratch
+		oldSet := randomEdgeSet(rng, n, rng.Intn(3*n), intW)
+		newSet := mutateEdgeSet(rng, n, oldSet, mutations, intW)
+		oldG, newG := fromEdgeSet(n, oldSet), fromEdgeSet(n, newSet)
+		src := rng.Intn(n)
+		dist, prev := oldG.Dijkstra(src, nil, nil)
+		newG.RepairSSSP(src, dist, prev, DiffInto(oldG, newG, nil, &dsc), &rsc)
+		wantDist, wantPrev := newG.Dijkstra(src, nil, nil)
+		for i := range dist {
+			if dist[i] != wantDist[i] || prev[i] != wantPrev[i] {
+				t.Fatalf("node %d: repaired (dist=%v, prev=%d) != scratch (dist=%v, prev=%d)",
+					i, dist[i], prev[i], wantDist[i], wantPrev[i])
+			}
+		}
+	})
+}

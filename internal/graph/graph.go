@@ -29,6 +29,16 @@ type Edge struct {
 type Graph struct {
 	n   int
 	adj [][]Edge
+
+	// Lazy CSR mirror of adj for the dense-repair sweep: one contiguous
+	// (offset, target, weight) triple streams far better than per-node
+	// adjacency slabs scattered across the heap. Invalidated by any
+	// mutation, rebuilt on demand, shared by every repair over the same
+	// graph build.
+	csrOff []int32
+	csrTo  []int32
+	csrW   []float64
+	csrOK  bool
 }
 
 // New creates a graph with n nodes and no edges.
@@ -56,12 +66,54 @@ func (g *Graph) Reset(n int) {
 		g.adj[i] = g.adj[i][:0]
 	}
 	g.n = n
+	g.csrOK = false
+}
+
+// csr returns the graph's CSR adjacency mirror, rebuilding it if any edge
+// was added since the last build. Only for single-owner use (the repair
+// paths): the rebuild mutates the receiver.
+//
+//hypatia:pure
+func (g *Graph) csr() (off, to []int32, w []float64) {
+	if g.csrOK {
+		return g.csrOff, g.csrTo, g.csrW
+	}
+	if cap(g.csrOff) < g.n+1 {
+		g.csrOff = make([]int32, g.n+1)
+	}
+	g.csrOff = g.csrOff[:g.n+1]
+	total := 0
+	g.csrOff[0] = 0
+	for v := 0; v < g.n; v++ {
+		total += len(g.adj[v])
+		g.csrOff[v+1] = int32(total)
+	}
+	if cap(g.csrTo) < total {
+		g.csrTo = make([]int32, total)
+		g.csrW = make([]float64, total)
+	}
+	g.csrTo = g.csrTo[:total]
+	g.csrW = g.csrW[:total]
+	k := 0
+	for v := 0; v < g.n; v++ {
+		for _, e := range g.adj[v] {
+			g.csrTo[k] = e.To
+			g.csrW[k] = e.W
+			k++
+		}
+	}
+	g.csrOK = true
+	return g.csrOff, g.csrTo, g.csrW
 }
 
 // N returns the number of nodes.
+//
+//hypatia:pure
 func (g *Graph) N() int { return g.n }
 
 // NumEdges returns the number of undirected edges.
+//
+//hypatia:pure
 func (g *Graph) NumEdges() int {
 	total := 0
 	for _, a := range g.adj {
@@ -72,6 +124,8 @@ func (g *Graph) NumEdges() int {
 
 // Neighbors returns the adjacency list of node v. The slice is owned by the
 // graph and must not be modified.
+//
+//hypatia:pure
 func (g *Graph) Neighbors(v int) []Edge { return g.adj[v] }
 
 // AddEdge inserts an undirected edge between a and b with weight w.
@@ -91,6 +145,7 @@ func (g *Graph) AddEdge(a, b int, w float64) {
 	}
 	g.adj[a] = append(g.adj[a], Edge{To: int32(b), W: w})
 	g.adj[b] = append(g.adj[b], Edge{To: int32(a), W: w})
+	g.csrOK = false
 }
 
 // indexedHeap is a binary min-heap of nodes keyed by tentative distance,

@@ -32,14 +32,9 @@ bench_once() { # $1 = gomaxprocs, $2 = raw output file
         -bench 'Snapshot$|SnapshotInto|ForwardingTableFull|ForwardingTablePooled' \
         -benchtime "$benchtime" -benchmem -count=1 ./internal/routing/ | tee -a "$2"
     GOMAXPROCS="$1" go test -run '^$' \
-        -bench 'ForwardingStateSerial|ForwardingStatePipelined' \
+        -bench 'ForwardingStateSerial|ForwardingStatePipelined|ForwardingStateIncremental' \
         -benchtime "$benchtime" -benchmem -count=1 ./internal/core/ | tee -a "$2"
 }
-
-echo "== go test -bench (GOMAXPROCS=1; benchtime=$benchtime) =="
-bench_once 1 "$raw1"
-echo "== go test -bench (GOMAXPROCS=$wide; benchtime=$benchtime) =="
-bench_once "$wide" "$rawN"
 
 # run_json renders one raw bench log as a JSON run object.
 run_json() { # $1 = raw file, $2 = gomaxprocs used
@@ -68,6 +63,11 @@ END {
     printf "      },\n"
     serial = ns["BenchmarkForwardingStateSerial"]
     piped  = ns["BenchmarkForwardingStatePipelined"]
+    inc    = ns["BenchmarkForwardingStateIncremental"]
+    if (serial > 0 && inc > 0)
+        printf "      \"serial_over_incremental\": %.3f,\n", serial / inc
+    else
+        printf "      \"serial_over_incremental\": null,\n"
     if (serial > 0 && piped > 0)
         printf "      \"serial_over_pipelined\": %.3f\n", serial / piped
     else
@@ -75,6 +75,42 @@ END {
     printf "    }"
 }' "$1"
 }
+
+# --selftest: render a canned bench log through run_json and assert the
+# JSON schema (benchmark entries, both ratio fields) comes out right, then
+# exit without running any benchmarks. Wired into go test so schema
+# regressions in the awk above fail the suite, not the next bench run.
+if [[ "${1:-}" == "--selftest" ]]; then
+    self="$(mktemp)"
+    cat > "$self" <<'EOF'
+cpu: Selftest CPU @ 2.10GHz
+BenchmarkForwardingStateSerial-4        5  160000000 ns/op  1000 B/op  10 allocs/op
+BenchmarkForwardingStatePipelined-4     5   80000000 ns/op  2000 B/op  20 allocs/op
+BenchmarkForwardingStateIncremental-4   5   20000000 ns/op   500 B/op   5 allocs/op
+EOF
+    json="$(run_json "$self" 4)"
+    rm -f "$self"
+    for want in \
+        '"gomaxprocs": 4' \
+        '"cpu": "Selftest CPU @ 2.10GHz"' \
+        '"BenchmarkForwardingStateSerial": {"ns_per_op": 160000000, "bytes_per_op": 1000, "allocs_per_op": 10}' \
+        '"BenchmarkForwardingStateIncremental": {"ns_per_op": 20000000, "bytes_per_op": 500, "allocs_per_op": 5}' \
+        '"serial_over_incremental": 8.000,' \
+        '"serial_over_pipelined": 2.000'; do
+        if ! grep -qF "$want" <<<"$json"; then
+            echo "bench.sh --selftest: missing $want in run JSON:" >&2
+            printf '%s\n' "$json" >&2
+            exit 1
+        fi
+    done
+    echo "bench.sh --selftest: ok"
+    exit 0
+fi
+
+echo "== go test -bench (GOMAXPROCS=1; benchtime=$benchtime) =="
+bench_once 1 "$raw1"
+echo "== go test -bench (GOMAXPROCS=$wide; benchtime=$benchtime) =="
+bench_once "$wide" "$rawN"
 
 {
     printf '{\n'

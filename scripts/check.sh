@@ -54,6 +54,14 @@ if ! grep -q 'escape path:' <<<"$confjson"; then
     exit 1
 fi
 
+echo "== incremental oracle exercised (comparison count must be nonzero) =="
+# The differential layer is only as good as the oracle actually running:
+# these tests fail unless the hypatia_checks oracle re-derived and compared
+# a nonzero number of forwarding columns against the incremental engine.
+go test -tags hypatia_checks -count=1 \
+    -run 'TestIncrementalOracleExercised|TestDifferentialIncrementalSequences' \
+    ./internal/routing/ ./internal/core/
+
 echo "== go test -race -tags hypatia_checks (shuffled) =="
 go test -race -tags hypatia_checks -shuffle=on ./...
 
