@@ -214,6 +214,57 @@ func sequentialRepairs(dsts []int) {
 	}
 }
 
+// shardState mirrors the sharded event loop from internal/sim: each shard
+// owns a confined engine — an event heap and a clock — and the only legal
+// way state crosses shards is a timestamped handoff over a channel.
+//
+//hypatia:confined
+type shardState struct {
+	heap  []int
+	clock int64
+}
+
+func pump(st *shardState) {
+	st.heap = append(st.heap, int(st.clock))
+	st.clock++
+}
+
+// crossShardLeak launches two shard goroutines but wires both to shard a's
+// heap — the second worker reaches into a foreign shard's engine with no
+// transfer point in between, exactly the bug class the sharded loop's
+// confinement contract exists to rule out. Shard b is touched by one
+// goroutine only and stays legal.
+func crossShardLeak() {
+	a := &shardState{}
+	b := &shardState{}
+	go pump(a) // want confinement
+	go func() { // want confinement
+		pump(a) // the leak: this worker's shard is b, but it pumps a
+		pump(b)
+	}()
+}
+
+// shardHandoff is the sanctioned shape: each engine reaches its goroutine
+// as a channel message, so ownership moves with the send and no two
+// workers ever hold the same shard.
+func shardHandoff() {
+	cmds := make(chan *shardState)
+	done := make(chan struct{})
+	for k := 0; k < 4; k++ {
+		go func() {
+			st := <-cmds
+			pump(st)
+			done <- struct{}{}
+		}()
+	}
+	for k := 0; k < 4; k++ {
+		cmds <- &shardState{}
+	}
+	for k := 0; k < 4; k++ {
+		<-done
+	}
+}
+
 // The analysis honors //hypatia:confined only on type declarations and
 // struct fields, and //hypatia:transfer only on functions and methods;
 // anywhere else they are dead weight and reported.

@@ -55,6 +55,16 @@ type RunConfig struct {
 	// forwarding state to install. This is the paper's "any routing
 	// strategy implementable with static routes" extension point.
 	Strategy Strategy
+	// Shards selects the sharded conservative-parallel event loop: > 1
+	// partitions the network's nodes across that many concurrent engines
+	// advancing inside a propagation-delay lookahead horizon
+	// (sim.Network.RunSharded); 0 or 1 runs the serial loop. Sharding does
+	// not affect results — delivery/drop/transmit traces are byte-identical
+	// to the serial loop (proven by the sharded differential suite) — but
+	// Simulator.Processed additionally counts each shard's copy of the
+	// forwarding-install events. Shard counts above the satellite count are
+	// clamped.
+	Shards int
 	// NoIncremental disables the incremental forwarding-state engine and
 	// recomputes every instant from scratch on the worker pool. The default
 	// (incremental) path carries per-destination settle orders across
@@ -131,6 +141,7 @@ type Run struct {
 	Flows *transport.FlowIDs
 
 	pipe             *pipeline
+	installTimes     []sim.Time // sharded runs: update instants after t=0
 	updatesInstalled int
 }
 
@@ -165,6 +176,14 @@ func NewRun(cfg RunConfig) (*Run, error) {
 
 	net.InstallForwarding(r.pipe.next())
 	r.updatesInstalled++
+	if cfg.Shards > 1 {
+		// Sharded runs install tables via per-shard evInstall events: the
+		// coordinator pops each master here, clones it per shard, and
+		// releases it (sim.Network.RunSharded).
+		r.installTimes = times[1:]
+		net.SetTableSource(r.pipe.next)
+		return r, nil
+	}
 	for _, at := range times[1:] {
 		s.ScheduleAt(at, func() {
 			// Install the precomputed table for this instant; the displaced
@@ -184,8 +203,15 @@ func NewRun(cfg RunConfig) (*Run, error) {
 func (r *Run) Close() { r.pipe.close() }
 
 // Execute runs the simulation to completion and returns the virtual
-// duration simulated.
+// duration simulated. With Cfg.Shards > 1 the run executes on the sharded
+// conservative-parallel loop; it may only be Executed once in that mode
+// (the per-shard install schedule is consumed by the run).
 func (r *Run) Execute() sim.Time {
+	if r.Cfg.Shards > 1 {
+		r.updatesInstalled += r.Net.RunSharded(r.Cfg.Duration, r.Cfg.Shards, r.installTimes)
+		r.installTimes = nil
+		return r.Cfg.Duration
+	}
 	r.Sim.Run(r.Cfg.Duration)
 	return r.Cfg.Duration
 }

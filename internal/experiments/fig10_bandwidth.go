@@ -160,7 +160,7 @@ func runCrossTraffic(cfg CrossTrafficConfig, pairs [][2]int, frozen bool) (*core
 		if i == len(pairs)-1 {
 			delay = 0
 		}
-		run.Sim.Schedule(delay, flow.Start)
+		flow.StartAfter(delay)
 	}
 	run.Execute()
 	return run, mon, nil

@@ -75,6 +75,8 @@ type Config struct {
 	// PosQuantum is the satellite-position cache granularity for
 	// propagation-delay computation. Positions move < 100 m per 10 ms,
 	// i.e. well under a microsecond of delay error. 0 means 10 ms.
+	// Positions being piecewise-constant per quantum also makes the sharded
+	// engine's lookahead bound exact rather than approximate (sharded.go).
 	PosQuantum Time
 
 	// RateFor optionally overrides the link rate (bits/s) per directed
@@ -90,7 +92,10 @@ type Config struct {
 	// time, and returning true discards the packet after serialization
 	// (the receiver simply never sees it). It enables the paper's
 	// weather/reliability future-work experiments, e.g. rain fade on
-	// GSLs in a geographic region.
+	// GSLs in a geographic region. It must be a pure function of its
+	// arguments: sharded runs consult it concurrently from shard
+	// goroutines, and determinism rests on its answer depending only on
+	// (from, to, at).
 	LossModel func(from, to int, at Time) bool
 }
 
@@ -135,38 +140,34 @@ type TransmitInfo struct {
 	Arrive   Time // arrival at the receiving node
 }
 
-// Network is the packet-forwarding fabric over a Topology: one node per
-// satellite and ground station, a point-to-point device pair per ISL, and
-// one shared GSL device per node (the paper's default of one GSL network
-// device per satellite and ground station, able to send to any other GSL
-// device the forwarding plan names).
-type Network struct {
-	Sim  *Simulator
-	Topo *routing.Topology
-
-	cfg   Config
-	nodes []*node
-	ft    *routing.ForwardingTable
-
-	// Position cache for propagation delays.
+// netState is the per-engine slice of mutable simulation state: forwarding
+// state, the position cache, delivery/drop counters, and — in sharded runs —
+// the outboxes, hook journal, and table plumbing for one shard. Each
+// Simulator embeds one; the serial engine's netState on the root Simulator
+// is the whole network state, while a sharded run gives each shard engine
+// its own and folds counters back into the root afterwards.
+//
+//hypatia:confined
+type netState struct {
+	ft        *routing.ForwardingTable
 	pos       []geom.Vec3
 	posBucket Time
 
-	onTransmit func(TransmitInfo)
-	onDrop     func(node int, pkt *Packet, reason DropReason)
-	onDeliver  func(gs int, pkt *Packet)
-
-	nextPktID uint64
 	delivered uint64
 	drops     [numDropReasons]uint64
-}
 
-type node struct {
-	id    int
-	net   *Network
-	isl   map[int32]*device // keyed by neighbor node id
-	gsl   *device
-	flows map[uint32]Handler // only populated on ground stations
+	// Sharded-run fields (unused on the root engine in serial runs).
+	// outbox[k] collects handoffs destined for shard k during a window; the
+	// coordinator drains it between windows. journal accumulates deferred
+	// hook emissions for the post-run merge. pendingTables are per-shard
+	// forwarding-table clones staged by the coordinator for this shard's
+	// upcoming install events; freed returns displaced clones for reuse.
+	journaling    bool
+	installs      int
+	outbox        [][]handoff
+	journal       []journalRec
+	pendingTables []*routing.ForwardingTable
+	freed         []*routing.ForwardingTable
 }
 
 // queued is one packet awaiting transmission along with its concrete
@@ -177,21 +178,77 @@ type queued struct {
 	target int32
 }
 
-// device is a transmitting interface with a fixed-capacity drop-tail FIFO.
+// device is a transmitting interface with a fixed-capacity drop-tail FIFO,
+// stored struct-of-arrays in Network.devs and addressed by integer handle;
+// its ring lives in the shared Network.rings slab. Each device is owned by
+// the engine executing its node's events — the serial loop, or exactly one
+// shard in a sharded run.
+//
+//hypatia:confined
 type device struct {
-	node    *node
+	node    int32
 	rateBps float64
 	// fixedPeer is the ISL peer node id, or -1 for the GSL device (the
 	// target then travels with each queued packet).
 	fixedPeer int32
-	ring      []queued
-	head, n   int
+	head, n   int32
 	busy      bool
+
+	// The in-flight packet, popped from the ring when serialization starts
+	// and resolved when the evTransmitDone event for this device fires.
+	inflight       *Packet
+	inflightTarget int32
+	inflightStart  Time
 
 	// Statistics.
 	txPackets uint64
 	txBytes   uint64
-	maxQueue  int
+	maxQueue  int32
+}
+
+// Network is the packet-forwarding fabric over a Topology: one node per
+// satellite and ground station, a point-to-point device pair per ISL, and
+// one shared GSL device per node (the paper's default of one GSL network
+// device per satellite and ground station, able to send to any other GSL
+// device the forwarding plan names). All per-node structures are flat
+// arrays indexed by integer handles: devices live in devs (per node: the
+// GSL device, then ISL devices in ascending peer order), with the ISL
+// adjacency in CSR form (islIdx/islPeer/islDev) and every device ring in
+// one rings slab.
+type Network struct {
+	Sim  *Simulator
+	Topo *routing.Topology
+
+	cfg Config
+
+	devs    []device
+	rings   []queued             // len(devs) * cfg.QueuePackets, ring i at [i*Q, (i+1)*Q)
+	gslDev  []int32              // node -> its GSL device handle
+	islIdx  []int32              // CSR offsets into islPeer/islDev, len NumNodes+1
+	islPeer []int32              // ISL neighbor node ids, ascending per node
+	islDev  []int32              // device handle per ISL neighbor
+	flows   []map[uint32]Handler // per node; non-nil only on ground stations
+	pktSeq  []uint32             // per-node packet ID counters
+
+	// Sharded-run routing: nil outside RunSharded. shardOf maps node ->
+	// shard index; sims holds the shard engines (sharded.go).
+	shardOf []int32
+	sims    []*Simulator
+
+	// Colocation constraints for sharding: a union-find over ground-station
+	// indices. Flows that share state across two stations (every transport
+	// here) keep their endpoints in one shard so transport callbacks stay
+	// single-engine; RegisterFlow unions automatically.
+	coloc  []int32
+	flowGS map[uint32]int32
+
+	onTransmit func(TransmitInfo)
+	onDrop     func(at Time, node int, pkt *Packet, reason DropReason)
+	onDeliver  func(at Time, gs int, pkt *Packet)
+
+	// tableSource feeds forwarding tables to sharded runs' install events,
+	// in update-instant order (core wires the pipeline here).
+	tableSource func() *routing.ForwardingTable
 }
 
 // DeviceStats is a snapshot of one device's counters.
@@ -206,37 +263,18 @@ type DeviceStats struct {
 
 // DeviceStats returns per-device counters for every device in the network,
 // satellites first (each node's GSL device, then its ISL devices in
-// ascending peer order). Useful for post-run diagnostics: hot devices,
-// buffer headroom, and rate utilization.
+// ascending peer order — the construction order of devs). Useful for
+// post-run diagnostics: hot devices, buffer headroom, and rate utilization.
 func (n *Network) DeviceStats() []DeviceStats {
-	var out []DeviceStats
-	for _, nd := range n.nodes {
-		out = append(out, deviceStats(nd.gsl))
-		peers := make([]int32, 0, len(nd.isl))
-		for p := range nd.isl {
-			peers = append(peers, p)
-		}
-		for i := 1; i < len(peers); i++ { // insertion sort: tiny lists
-			for j := i; j > 0 && peers[j-1] > peers[j]; j-- {
-				peers[j-1], peers[j] = peers[j], peers[j-1]
-			}
-		}
-		for _, p := range peers {
-			out = append(out, deviceStats(nd.isl[p]))
+	out := make([]DeviceStats, len(n.devs))
+	for i := range n.devs {
+		d := &n.devs[i]
+		out[i] = DeviceStats{
+			Node: int(d.node), Peer: int(d.fixedPeer), RateBps: d.rateBps,
+			TxPkts: d.txPackets, TxBytes: d.txBytes, MaxQueue: int(d.maxQueue),
 		}
 	}
 	return out
-}
-
-func deviceStats(d *device) DeviceStats {
-	return DeviceStats{
-		Node: d.node.id, Peer: int(d.fixedPeer), RateBps: d.rateBps,
-		TxPkts: d.txPackets, TxBytes: d.txBytes, MaxQueue: d.maxQueue,
-	}
-}
-
-func newDevice(nd *node, rate float64, peer int32, capacity int) *device {
-	return &device{node: nd, rateBps: rate, fixedPeer: peer, ring: make([]queued, capacity)}
 }
 
 // NewNetwork builds the node and device fabric for a topology.
@@ -256,44 +294,86 @@ func NewNetwork(s *Simulator, topo *routing.Topology, cfg Config) (*Network, err
 		}
 		return fallback
 	}
-	n := &Network{Sim: s, Topo: topo, cfg: cfg, posBucket: -1}
-	n.nodes = make([]*node, topo.NumNodes())
-	for i := range n.nodes {
-		nd := &node{id: i, net: n, isl: map[int32]*device{}}
-		nd.gsl = newDevice(nd, rateFor(i, -1, cfg.GSLRateBps), -1, cfg.QueuePackets)
-		if topo.IsGS(i) {
-			nd.flows = map[uint32]Handler{}
-		}
-		n.nodes[i] = nd
-	}
+	numNodes := topo.NumNodes()
+	n := &Network{Sim: s, Topo: topo, cfg: cfg}
+	s.net = n
+	s.st.posBucket = -1
+
+	adj := make([][]int32, numNodes)
 	for _, isl := range topo.Constellation.ISLs {
-		a, b := n.nodes[isl.A], n.nodes[isl.B]
-		a.isl[int32(isl.B)] = newDevice(a, rateFor(isl.A, isl.B, cfg.ISLRateBps), int32(isl.B), cfg.QueuePackets)
-		b.isl[int32(isl.A)] = newDevice(b, rateFor(isl.B, isl.A, cfg.ISLRateBps), int32(isl.A), cfg.QueuePackets)
+		adj[isl.A] = append(adj[isl.A], int32(isl.B))
+		adj[isl.B] = append(adj[isl.B], int32(isl.A))
 	}
+	for _, peers := range adj {
+		for i := 1; i < len(peers); i++ { // insertion sort: tiny lists
+			for j := i; j > 0 && peers[j-1] > peers[j]; j-- {
+				peers[j-1], peers[j] = peers[j], peers[j-1]
+			}
+		}
+	}
+
+	n.gslDev = make([]int32, numNodes)
+	n.islIdx = make([]int32, numNodes+1)
+	n.flows = make([]map[uint32]Handler, numNodes)
+	n.pktSeq = make([]uint32, numNodes)
+	for i := 0; i < numNodes; i++ {
+		n.gslDev[i] = int32(len(n.devs))
+		n.devs = append(n.devs, device{node: int32(i), fixedPeer: -1, rateBps: rateFor(i, -1, cfg.GSLRateBps)})
+		for _, p := range adj[i] {
+			n.islPeer = append(n.islPeer, p)
+			n.islDev = append(n.islDev, int32(len(n.devs)))
+			n.devs = append(n.devs, device{node: int32(i), fixedPeer: p, rateBps: rateFor(i, int(p), cfg.ISLRateBps)})
+		}
+		n.islIdx[i+1] = int32(len(n.islPeer))
+		if topo.IsGS(i) {
+			n.flows[i] = map[uint32]Handler{}
+		}
+	}
+	n.rings = make([]queued, len(n.devs)*cfg.QueuePackets)
 	return n, nil
 }
 
 // Config returns the network's configuration (with defaults applied).
 func (n *Network) Config() Config { return n.cfg }
 
+// simFor returns the engine that owns a node's events: the root engine, or
+// the node's shard engine during a sharded run.
+func (n *Network) simFor(node int32) *Simulator {
+	if n.shardOf == nil {
+		return n.Sim
+	}
+	return n.sims[n.shardOf[node]]
+}
+
 // SetTransmitHook registers fn to observe every link transmission. Pass nil
 // to disable. Used by the utilization experiments (Figs 10, 14, 15).
 func (n *Network) SetTransmitHook(fn func(TransmitInfo)) { n.onTransmit = fn }
 
-// SetDropHook registers fn to observe every packet drop with the node where
-// it occurred and the reason. Pass nil to disable.
-func (n *Network) SetDropHook(fn func(node int, pkt *Packet, reason DropReason)) { n.onDrop = fn }
+// SetDropHook registers fn to observe every packet drop with the drop time,
+// the node where it occurred, and the reason. Pass nil to disable.
+func (n *Network) SetDropHook(fn func(at Time, node int, pkt *Packet, reason DropReason)) {
+	n.onDrop = fn
+}
 
 // SetDeliverHook registers fn to observe every packet handed to a transport
-// handler at its destination ground station. Pass nil to disable.
-func (n *Network) SetDeliverHook(fn func(gs int, pkt *Packet)) { n.onDeliver = fn }
+// handler at its destination ground station, with the delivery time. Pass
+// nil to disable.
+func (n *Network) SetDeliverHook(fn func(at Time, gs int, pkt *Packet)) { n.onDeliver = fn }
 
-// drop counts a drop and notifies the hook.
-func (n *Network) drop(node int, pkt *Packet, reason DropReason) {
-	n.drops[reason]++
+// drop counts a drop and notifies the hook (directly, or via the shard
+// journal for post-run replay in canonical order).
+func (n *Network) drop(s *Simulator, node int32, pkt *Packet, reason DropReason) {
+	s.st.drops[reason]++
+	if s.st.journaling {
+		if n.onDrop != nil {
+			s.st.journal = append(s.st.journal, journalRec{
+				key: s.emissionKey(), jk: jDrop, at: s.now, a: node, reason: reason, pkt: *pkt,
+			})
+		}
+		return
+	}
 	if n.onDrop != nil {
-		n.onDrop(node, pkt, reason)
+		n.onDrop(s.now, int(node), pkt, reason)
 	}
 }
 
@@ -306,187 +386,269 @@ func (n *Network) drop(node int, pkt *Packet, reason DropReason) {
 // consulted again — the return value is the engine's recycle point for
 // pooled table arenas (routing.ForwardingTable.Release).
 func (n *Network) InstallForwarding(ft *routing.ForwardingTable) *routing.ForwardingTable {
-	prev := n.ft
-	n.ft = ft
+	prev := n.Sim.st.ft
+	n.Sim.st.ft = ft
 	return prev
+}
+
+// SetTableSource registers the producer sharded runs pull forwarding tables
+// from, one call per update instant in order (core wires its precomputation
+// pipeline here). Serial runs install tables directly via InstallForwarding
+// events and ignore it.
+func (n *Network) SetTableSource(fn func() *routing.ForwardingTable) { n.tableSource = fn }
+
+// installEvent is the evInstall dispatch: install the next staged table
+// clone for this engine, retiring the displaced clone for reuse.
+func (n *Network) installEvent(s *Simulator, idx int) {
+	if len(s.st.pendingTables) == 0 {
+		panic(fmt.Sprintf("sim: install event %d with no staged forwarding table", idx))
+	}
+	ft := s.st.pendingTables[0]
+	s.st.pendingTables = s.st.pendingTables[1:]
+	if prev := s.st.ft; prev != nil {
+		s.st.freed = append(s.st.freed, prev)
+	}
+	s.st.ft = ft
+	s.st.installs++
 }
 
 // RegisterFlow attaches a transport handler for flowID at ground station
 // gs. Registering a duplicate flow id on the same station panics: flow ids
-// must be unique per endpoint.
+// must be unique per endpoint. Registering the same flow id at two stations
+// colocates them for sharded runs (the flow's handlers are assumed to share
+// state, so both endpoints must execute on one shard).
 func (n *Network) RegisterFlow(gs int, flowID uint32, h Handler) {
-	nd := n.nodes[n.Topo.GSNode(gs)]
-	if _, dup := nd.flows[flowID]; dup {
+	node := n.Topo.GSNode(gs)
+	if _, dup := n.flows[node][flowID]; dup {
 		panic(fmt.Sprintf("sim: duplicate flow %d at GS %d", flowID, gs))
 	}
-	nd.flows[flowID] = h
+	n.flows[node][flowID] = h
+	if prev, ok := n.flowGS[flowID]; ok {
+		n.colocate(prev, int32(gs))
+	} else {
+		if n.flowGS == nil {
+			n.flowGS = map[uint32]int32{}
+		}
+		n.flowGS[flowID] = int32(gs)
+	}
 }
 
 // UnregisterFlow removes a flow handler.
 func (n *Network) UnregisterFlow(gs int, flowID uint32) {
-	delete(n.nodes[n.Topo.GSNode(gs)].flows, flowID)
+	delete(n.flows[n.Topo.GSNode(gs)], flowID)
 }
 
 // Send injects a packet at its source ground station. The packet is
 // forwarded per the current forwarding state; the returned packet ID
-// identifies it in traces.
+// identifies it in traces. IDs encode (source node, per-node sequence) so
+// that concurrently executing shards mint identical IDs to a serial run.
 func (n *Network) Send(srcGS, dstGS int, flowID uint32, size int, payload any) uint64 {
-	n.nextPktID++
+	node := int32(n.Topo.GSNode(srcGS))
+	s := n.simFor(node)
+	n.pktSeq[node]++
 	pkt := &Packet{
-		ID:      n.nextPktID,
+		ID:      uint64(node)<<32 | uint64(n.pktSeq[node]),
 		SrcGS:   srcGS,
 		DstGS:   dstGS,
 		FlowID:  flowID,
 		Size:    size,
-		SentAt:  n.Sim.Now(),
+		SentAt:  s.now,
 		Payload: payload,
 	}
-	n.forward(n.nodes[n.Topo.GSNode(srcGS)], pkt)
+	n.forward(s, node, pkt)
 	return pkt.ID
 }
 
 // Delivered returns the count of packets handed to transport handlers.
-func (n *Network) Delivered() uint64 { return n.delivered }
+func (n *Network) Delivered() uint64 { return n.Sim.st.delivered }
 
 // Drops returns the number of packets dropped for the given reason.
-func (n *Network) Drops(r DropReason) uint64 { return n.drops[r] }
+func (n *Network) Drops(r DropReason) uint64 { return n.Sim.st.drops[r] }
 
 // TotalDrops returns all drops.
 func (n *Network) TotalDrops() uint64 {
 	var total uint64
-	for _, d := range n.drops {
+	for _, d := range n.Sim.st.drops {
 		total += d
 	}
 	return total
 }
 
-// positionsAt returns cached node positions for the quantized instant
-// containing t.
-func (n *Network) positionsAt(t Time) []geom.Vec3 {
+// positionsAt returns the engine's cached node positions for the quantized
+// instant containing t.
+func (n *Network) positionsAt(s *Simulator, t Time) []geom.Vec3 {
 	bucket := t / n.cfg.PosQuantum
-	if bucket != n.posBucket || n.pos == nil {
-		n.pos = n.Topo.NodePositions(Time(bucket*n.cfg.PosQuantum).Seconds(), n.pos)
-		n.posBucket = bucket
+	if bucket != s.st.posBucket || s.st.pos == nil {
+		s.st.pos = n.Topo.NodePositions(Time(bucket*n.cfg.PosQuantum).Seconds(), s.st.pos)
+		s.st.posBucket = bucket
 	}
-	return n.pos
+	return s.st.pos
 }
 
 // propagationDelay returns the current one-way propagation delay between
 // two nodes at time t.
-func (n *Network) propagationDelay(a, b int, t Time) Time {
-	pos := n.positionsAt(t)
+func (n *Network) propagationDelay(s *Simulator, a, b int32, t Time) Time {
+	pos := n.positionsAt(s, t)
 	return Seconds(pos[a].Distance(pos[b]) / geom.SpeedOfLight)
 }
 
-// forward routes a packet held by nd toward its destination GS.
-func (n *Network) forward(nd *node, pkt *Packet) {
-	if n.ft == nil {
+// forward routes a packet held by node toward its destination GS.
+func (n *Network) forward(s *Simulator, node int32, pkt *Packet) {
+	if s.st.ft == nil {
 		panic("sim: no forwarding state installed")
 	}
 	if pkt.Hops >= n.cfg.MaxHops {
-		n.drop(nd.id, pkt, DropTTL)
+		n.drop(s, node, pkt, DropTTL)
 		return
 	}
-	nh := n.ft.NextHop(nd.id, pkt.DstGS)
+	nh := s.st.ft.NextHop(int(node), pkt.DstGS)
 	if nh < 0 {
-		n.drop(nd.id, pkt, DropNoRoute)
+		n.drop(s, node, pkt, DropNoRoute)
 		return
 	}
-	dev := nd.isl[nh]
-	if dev == nil {
-		dev = nd.gsl
+	dev := n.gslDev[node]
+	for i := n.islIdx[node]; i < n.islIdx[node+1]; i++ {
+		if n.islPeer[i] == nh {
+			dev = n.islDev[i]
+			break
+		}
 	}
-	n.enqueue(dev, pkt, nh)
+	n.enqueue(s, dev, pkt, nh)
 }
 
 // enqueue appends the packet to the device's drop-tail queue and kicks the
 // transmitter if idle.
-func (n *Network) enqueue(dev *device, pkt *Packet, target int32) {
-	if dev.n == len(dev.ring) {
-		n.drop(dev.node.id, pkt, DropQueue)
+func (n *Network) enqueue(s *Simulator, di int32, pkt *Packet, target int32) {
+	d := &n.devs[di]
+	q := int32(n.cfg.QueuePackets)
+	if d.n == q {
+		n.drop(s, d.node, pkt, DropQueue)
 		return
 	}
-	dev.ring[(dev.head+dev.n)%len(dev.ring)] = queued{pkt: pkt, target: target}
-	dev.n++
+	n.rings[di*q+(d.head+d.n)%q] = queued{pkt: pkt, target: target}
+	d.n++
 	if check.Enabled {
-		check.Assert(dev.n >= 1 && dev.n <= len(dev.ring),
-			"device %d queue occupancy %d outside [1, %d] after enqueue", dev.node.id, dev.n, len(dev.ring))
+		check.Assert(d.n >= 1 && d.n <= q,
+			"device %d queue occupancy %d outside [1, %d] after enqueue", d.node, d.n, q)
 	}
-	if dev.n > dev.maxQueue {
-		dev.maxQueue = dev.n
+	if d.n > d.maxQueue {
+		d.maxQueue = d.n
 	}
-	if !dev.busy {
-		n.transmitNext(dev)
+	if !d.busy {
+		n.transmitStart(s, di)
 	}
 }
 
-// transmitNext serializes the head-of-line packet, schedules its arrival at
-// the target after the propagation delay, and chains the next transmission.
-func (n *Network) transmitNext(dev *device) {
+// transmitStart pops the head-of-line packet at serialization start and
+// schedules the device's evTransmitDone for when the last bit is on the
+// wire.
+func (n *Network) transmitStart(s *Simulator, di int32) {
+	d := &n.devs[di]
 	if check.Enabled {
-		check.Assert(dev.n > 0, "device %d transmit with empty queue", dev.node.id)
+		check.Assert(d.n > 0, "device %d transmit with empty queue", d.node)
 	}
-	q := dev.ring[dev.head]
-	dev.ring[dev.head] = queued{}
-	dev.head = (dev.head + 1) % len(dev.ring)
-	dev.n--
-	dev.busy = true
-	dev.txPackets++
-	dev.txBytes += uint64(q.pkt.Size)
+	q := int32(n.cfg.QueuePackets)
+	slot := di*q + d.head
+	qd := n.rings[slot]
+	n.rings[slot] = queued{}
+	d.head = (d.head + 1) % q
+	d.n--
+	d.busy = true
+	d.txPackets++
+	d.txBytes += uint64(qd.pkt.Size)
+	d.inflight = qd.pkt
+	d.inflightTarget = qd.target
+	d.inflightStart = s.now
 
-	start := n.Sim.Now()
-	txTime := Seconds(float64(q.pkt.Size*8) / dev.rateBps)
-	n.Sim.Schedule(txTime, func() {
-		done := n.Sim.Now()
-		prop := n.propagationDelay(dev.node.id, int(q.target), done)
-		if n.onTransmit != nil {
-			n.onTransmit(TransmitInfo{
-				From: dev.node.id, To: int(q.target),
-				Packet: q.pkt, Start: start, Arrive: done + prop,
-			})
-		}
-		if n.cfg.LossModel != nil && n.cfg.LossModel(dev.node.id, int(q.target), done) {
-			n.drop(dev.node.id, q.pkt, DropLink)
-		} else {
-			target := n.nodes[q.target]
-			pkt := q.pkt
-			n.Sim.Schedule(prop, func() { n.receive(target, pkt) })
-		}
-		if dev.n > 0 {
-			n.transmitNext(dev)
-		} else {
-			dev.busy = false
-		}
+	txTime := Seconds(float64(qd.pkt.Size*8) / d.rateBps)
+	s.events.push(event{
+		at: s.now + txTime, owner: d.node, kind: evTransmitDone,
+		key: uint64(di), seq: s.nextSeq(),
 	})
 }
 
-// receive handles packet arrival at a node: local delivery at the
-// destination ground station, forwarding everywhere else.
-func (n *Network) receive(nd *node, pkt *Packet) {
-	pkt.Hops++
-	if n.Topo.IsGS(nd.id) && n.Topo.GSIndex(nd.id) == pkt.DstGS {
-		h := nd.flows[pkt.FlowID]
-		if h == nil {
-			n.drop(nd.id, pkt, DropNoHandler)
+// transmitDone is the evTransmitDone dispatch: emit the transmission, apply
+// link loss, hand the packet toward its target (possibly across shards),
+// and chain the next serialization.
+func (n *Network) transmitDone(s *Simulator, di int32) {
+	d := &n.devs[di]
+	pkt, target, start := d.inflight, d.inflightTarget, d.inflightStart
+	d.inflight = nil
+	done := s.now
+	prop := n.propagationDelay(s, d.node, target, done)
+	if n.onTransmit != nil {
+		ti := TransmitInfo{From: int(d.node), To: int(target), Packet: pkt, Start: start, Arrive: done + prop}
+		if s.st.journaling {
+			s.st.journal = append(s.st.journal, journalRec{
+				key: s.emissionKey(), jk: jTransmit, at: start, a: d.node, b: target,
+				arrive: done + prop, pkt: *pkt,
+			})
+		} else {
+			n.onTransmit(ti)
+		}
+	}
+	if n.cfg.LossModel != nil && n.cfg.LossModel(int(d.node), int(target), done) {
+		n.drop(s, d.node, pkt, DropLink)
+	} else {
+		n.deliverTo(s, target, done+prop, pkt)
+	}
+	if d.n > 0 {
+		n.transmitStart(s, di)
+	} else {
+		d.busy = false
+	}
+}
+
+// deliverTo schedules a packet's arrival at its target node: locally when
+// the target is on this engine, as a cross-shard handoff otherwise.
+func (n *Network) deliverTo(s *Simulator, target int32, at Time, pkt *Packet) {
+	if n.shardOf != nil {
+		if k := n.shardOf[target]; k != s.shard {
+			if check.Enabled {
+				check.Assert(at >= s.windowEnd,
+					"cross-shard handoff at %v inside the lookahead window ending %v", at, s.windowEnd)
+			}
+			s.st.outbox[k] = append(s.st.outbox[k], handoff{at: at, node: target, pkt: pkt})
 			return
 		}
-		n.delivered++
+	}
+	s.events.push(event{at: at, owner: target, kind: evReceive, key: pkt.ID, seq: s.nextSeq(), pkt: pkt})
+}
+
+// receive is the evReceive dispatch: packet arrival at a node — local
+// delivery at the destination ground station, forwarding everywhere else.
+func (n *Network) receive(s *Simulator, node int32, pkt *Packet) {
+	pkt.Hops++
+	if n.Topo.IsGS(int(node)) && n.Topo.GSIndex(int(node)) == pkt.DstGS {
+		h := n.flows[node][pkt.FlowID]
+		if h == nil {
+			n.drop(s, node, pkt, DropNoHandler)
+			return
+		}
+		s.st.delivered++
 		if n.onDeliver != nil {
-			n.onDeliver(pkt.DstGS, pkt)
+			if s.st.journaling {
+				s.st.journal = append(s.st.journal, journalRec{
+					key: s.emissionKey(), jk: jDeliver, at: s.now, a: int32(pkt.DstGS), pkt: *pkt,
+				})
+			} else {
+				n.onDeliver(s.now, pkt.DstGS, pkt)
+			}
 		}
 		h(pkt)
 		return
 	}
-	n.forward(nd, pkt)
+	n.forward(s, node, pkt)
 }
 
 // QueueLen reports the queue occupancy of the device from node `from`
 // toward node `to` (an ISL device if the pair is an ISL, otherwise the GSL
 // device of `from`). Useful for tests and instrumentation.
 func (n *Network) QueueLen(from, to int) int {
-	nd := n.nodes[from]
-	if dev, ok := nd.isl[int32(to)]; ok {
-		return dev.n
+	for i := n.islIdx[from]; i < n.islIdx[from+1]; i++ {
+		if n.islPeer[i] == int32(to) {
+			return int(n.devs[n.islDev[i]].n)
+		}
 	}
-	return nd.gsl.n
+	return int(n.devs[n.gslDev[from]].n)
 }

@@ -1,18 +1,24 @@
 // Package sim is a discrete-event, packet-level network simulator for LEO
 // constellations — the Go substitute for the ns-3 module the Hypatia paper
-// builds on. It provides the event engine (this file) and a network model
+// builds on. It provides the event engine (this file), a network model
 // (network.go): nodes for satellites and ground stations, point-to-point ISL
 // channels, a shared-medium GSL channel, drop-tail queues, per-packet
 // propagation delays derived from live satellite positions, and
-// forwarding-state updates installed at a configurable time granularity.
+// forwarding-state updates installed at a configurable time granularity —
+// and a sharded conservative-parallel execution mode (sharded.go) that
+// partitions nodes across per-shard engines inside a propagation-delay
+// lookahead horizon.
 //
-// Simulated time is an int64 nanosecond count from the start of the run;
-// events at the same instant fire in scheduling order, which keeps every
-// run bit-for-bit deterministic.
+// Simulated time is an int64 nanosecond count from the start of the run.
+// Events are ordered by a canonical content-based key — (time, owning node,
+// event kind, per-kind key, scheduling sequence) — rather than by insertion
+// order alone, so the serial and sharded engines pop identical sequences and
+// every run is bit-for-bit deterministic. Events scheduled by user code
+// (Schedule/ScheduleAt) carry no owner and fall back to FIFO among
+// themselves at equal instants.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -40,39 +46,142 @@ func Seconds(s float64) Time { return Time(math.Round(s * 1e9)) }
 //lint:ignore timeunits Seconds is the one sanctioned Time-to-float conversion
 func (t Time) Seconds() float64 { return float64(t) / 1e9 }
 
-// String formats the time with millisecond precision.
-func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
-
-// event is a scheduled callback. seq breaks ties FIFO.
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+// String formats the time with millisecond precision, rounding half away
+// from zero in integer arithmetic. (%.3f formatting rounds half to even and
+// loses integer precision near the int64 extremes, which rendered negative
+// sub-millisecond durations inconsistently with their positive mirrors.)
+func (t Time) String() string {
+	var mag uint64
+	if t < 0 {
+		mag = -uint64(t) // two's-complement magnitude; exact for MinInt64
+	} else {
+		mag = uint64(t)
+	}
+	ms := (mag + 500_000) / 1_000_000
+	sign := ""
+	if t < 0 && ms != 0 {
+		sign = "-"
+	}
+	return fmt.Sprintf("%s%d.%03ds", sign, ms/1000, ms%1000)
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
+// evKind tags the payload of an event record. The tag participates in the
+// canonical event order (install events sort before everything else at the
+// same instant), so the values here are load-bearing.
+type evKind uint8
+
+const (
+	// evInstall installs the next precomputed forwarding table (key = update
+	// instant index). Sorts first so a table change at t is visible to every
+	// packet event at t, on every engine.
+	evInstall evKind = iota
+	// evClosure runs a func() — user code, transport timers. key is 0; FIFO
+	// among the same owner via seq.
+	evClosure
+	// evTransmitDone completes a device's in-flight serialization (key =
+	// device handle, unique per instant and device).
+	evTransmitDone
+	// evReceive delivers a packet to its owner node (key = packet ID,
+	// globally unique).
+	evReceive
+)
+
+// event is one scheduled occurrence. The comparator below orders events by
+// content, not by insertion: at, then owner (-1 for unowned/user events),
+// then kind, then the per-kind key, then seq. For any two events that can
+// ever tie through (at, owner, kind, key), both engines assign seq in the
+// same relative order (all scheduling onto one owner happens on the engine
+// executing that owner), which is what makes serial and sharded runs pop
+// identical sequences.
+type event struct {
+	at    Time
+	seq   uint64
+	key   uint64
+	owner int32
+	kind  evKind
+	pkt   *Packet
+	fn    func()
+}
+
+// eventHeap is a manual binary min-heap of event records (container/heap
+// would box every push/pop through interface{}).
 //
 //hypatia:confined
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h eventHeap) less(i, j int) bool {
+	a, b := &h[i], &h[j]
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	if a.owner != b.owner {
+		return a.owner < b.owner
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.seq < b.seq
 }
 
-// Simulator is a single-threaded discrete-event engine.
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // clear pkt/fn references for the GC
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && q.less(r, l) {
+			m = r
+		}
+		if !q.less(m, i) {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	return top
+}
+
+// journalKey is the canonical identity of an event occurrence plus an
+// emission sub-index; per-shard hook journals are merged on it post-run so
+// deferred hook replay reproduces the serial emission order exactly.
+type journalKey struct {
+	at    Time
+	seq   uint64
+	key   uint64
+	sub   uint32
+	owner int32
+	kind  evKind
+}
+
+// Simulator is a discrete-event engine: single-threaded on its own, and the
+// unit of parallelism in a sharded run (one Simulator per shard, each owned
+// by exactly one goroutine at a time — see Network.RunSharded).
 //
 //hypatia:confined
 type Simulator struct {
@@ -81,6 +190,21 @@ type Simulator struct {
 	seq       uint64
 	processed uint64
 	stopped   bool
+
+	// Sharded-run plumbing. net backlinks to the Network whose tagged
+	// events this engine dispatches (set by NewNetwork); shard is this
+	// engine's index in a sharded run; windowEnd bounds the current
+	// lookahead window; migrated marks a root engine whose events have been
+	// handed to shard engines (scheduling on it would be silently lost, so
+	// it panics instead). cur/curSub identify the executing event for
+	// journaled hook emission.
+	net       *Network
+	st        netState
+	windowEnd Time
+	shard     int32
+	migrated  bool
+	cur       journalKey
+	curSub    uint32
 }
 
 // NewSimulator returns an engine at time zero with no pending events.
@@ -93,7 +217,9 @@ func (s *Simulator) Now() Time { return s.now }
 
 // Processed returns the number of events executed so far; per-packet event
 // counts dominate simulation wall-clock time (paper §3.4), so this is the
-// scalability-relevant metric.
+// scalability-relevant metric. After a sharded run the root engine reports
+// the sum across shards (which exceeds a serial run's count by the
+// duplicated per-shard forwarding installs).
 func (s *Simulator) Processed() uint64 { return s.processed }
 
 // Pending returns the number of events currently queued.
@@ -110,33 +236,80 @@ func (s *Simulator) Schedule(delay Time, fn func()) {
 
 // ScheduleAt enqueues fn to run at absolute time at (>= Now).
 func (s *Simulator) ScheduleAt(at Time, fn func()) {
+	if s.migrated {
+		panic("sim: scheduling on the root engine during a sharded run; bind to a node with Network.Clock")
+	}
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: %v < %v", at, s.now))
 	}
-	heap.Push(&s.events, event{at: at, seq: s.seq, fn: fn})
-	s.seq++
+	s.events.push(event{at: at, owner: -1, kind: evClosure, seq: s.nextSeq(), fn: fn})
 }
 
-// Stop makes Run return after the currently executing event completes.
+// scheduleOwnedAt enqueues a closure on behalf of a node (transport timers
+// bound through a Clock). The owner keys the event's canonical order and, in
+// a sharded run, the shard that executes it.
+func (s *Simulator) scheduleOwnedAt(at Time, owner int32, fn func()) {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: %v < %v", at, s.now))
+	}
+	s.events.push(event{at: at, owner: owner, kind: evClosure, seq: s.nextSeq(), fn: fn})
+}
+
+func (s *Simulator) nextSeq() uint64 {
+	q := s.seq
+	s.seq++
+	return q
+}
+
+// Stop makes Run return after the currently executing event completes. In a
+// sharded run the stop takes effect at the current lookahead window's
+// boundary on the other shards.
 func (s *Simulator) Stop() { s.stopped = true }
 
-// Run executes events in timestamp order until the queue is empty or the
+// Run executes events in canonical order until the queue is empty or the
 // next event is later than until; the clock then rests exactly at until.
 func (s *Simulator) Run(until Time) {
 	s.stopped = false
+	s.runWindow(until, true)
+}
+
+// runWindow executes events up to end — inclusive of end itself only when
+// inclusive is set (the final window of a run), exclusive otherwise (interior
+// lookahead windows, whose boundary events belong to the next window so that
+// cross-shard handoffs landing exactly on the boundary still precede them).
+func (s *Simulator) runWindow(end Time, inclusive bool) {
 	for len(s.events) > 0 && !s.stopped {
-		if s.events[0].at > until {
+		at := s.events[0].at
+		if at > end || (at == end && !inclusive) {
 			break
 		}
-		e := heap.Pop(&s.events).(event)
+		e := s.events.pop()
 		if check.Enabled {
 			check.Assert(e.at >= s.now, "event heap popped %v after clock reached %v", e.at, s.now)
 		}
 		s.now = e.at
 		s.processed++
-		e.fn()
+		if s.st.journaling {
+			s.cur = journalKey{at: e.at, owner: e.owner, kind: e.kind, key: e.key, seq: e.seq}
+			s.curSub = 0
+		}
+		s.dispatch(&e)
 	}
-	if !s.stopped && s.now < until {
-		s.now = until
+	if inclusive && !s.stopped && s.now < end {
+		s.now = end
+	}
+}
+
+// dispatch executes one event record.
+func (s *Simulator) dispatch(e *event) {
+	switch e.kind {
+	case evInstall:
+		s.net.installEvent(s, int(e.key))
+	case evClosure:
+		e.fn()
+	case evTransmitDone:
+		s.net.transmitDone(s, int32(e.key))
+	case evReceive:
+		s.net.receive(s, e.owner, e.pkt)
 	}
 }

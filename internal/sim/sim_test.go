@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"testing"
 )
 
@@ -176,13 +177,52 @@ func TestSecondsRoundsHalfAwayFromZero(t *testing.T) {
 }
 
 // TestTimeStringNegative pins String formatting for negative durations and
-// sub-millisecond truncation behavior of the %.3f format.
+// sub-millisecond rounding behavior.
 func TestTimeStringNegative(t *testing.T) {
 	if s := (-1500 * Millisecond).String(); s != "-1.500s" {
 		t.Errorf("String = %q, want %q", s, "-1.500s")
 	}
 	if s := (1*Millisecond + 499*Microsecond).String(); s != "0.001s" {
 		t.Errorf("String = %q, want %q", s, "0.001s")
+	}
+}
+
+// TestTimeStringTable exercises String across signs, rounding boundaries,
+// and the int64 extremes. Rounding is half away from zero, so negative
+// durations format as the exact mirror of their positive counterparts
+// (%.3f's round-half-to-even plus float truncation used to render e.g.
+// -500µs and 500µs asymmetrically).
+func TestTimeStringTable(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0.000s"},
+		{Second, "1.000s"},
+		{-Second, "-1.000s"},
+		{1500 * Millisecond, "1.500s"},
+		{-1500 * Millisecond, "-1.500s"},
+		{499 * Microsecond, "0.000s"},
+		{-499 * Microsecond, "0.000s"}, // rounds to zero: no "-0.000s"
+		{500 * Microsecond, "0.001s"},
+		{-500 * Microsecond, "-0.001s"},
+		{1*Millisecond + 499*Microsecond, "0.001s"},
+		{-1*Millisecond - 499*Microsecond, "-0.001s"},
+		{1*Millisecond + 500*Microsecond, "0.002s"},
+		{-1*Millisecond - 500*Microsecond, "-0.002s"},
+		{999_999_999 * Nanosecond, "1.000s"},
+		{-999_999_999 * Nanosecond, "-1.000s"},
+		{Nanosecond, "0.000s"},
+		{-Nanosecond, "0.000s"},
+		{200 * Second, "200.000s"},
+		{Time(math.MaxInt64), "9223372036.855s"},
+		{Time(math.MinInt64), "-9223372036.855s"},
+		{Time(math.MinInt64) + 1, "-9223372036.855s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
 	}
 }
 

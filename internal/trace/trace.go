@@ -107,11 +107,11 @@ func (tr *Tracer) Attach(n *sim.Network) {
 	n.SetTransmitHook(func(ti sim.TransmitInfo) {
 		tr.emit(Event{Kind: TX, T: ti.Start, From: ti.From, To: ti.To, Packet: ti.Packet})
 	})
-	n.SetDropHook(func(node int, pkt *sim.Packet, reason sim.DropReason) {
-		tr.emit(Event{Kind: DROP, T: n.Sim.Now(), From: node, To: -1, Packet: pkt, Reason: reason})
+	n.SetDropHook(func(at sim.Time, node int, pkt *sim.Packet, reason sim.DropReason) {
+		tr.emit(Event{Kind: DROP, T: at, From: node, To: -1, Packet: pkt, Reason: reason})
 	})
-	n.SetDeliverHook(func(gs int, pkt *sim.Packet) {
-		tr.emit(Event{Kind: RX, T: n.Sim.Now(), From: -1, To: gs, Packet: pkt})
+	n.SetDeliverHook(func(at sim.Time, gs int, pkt *sim.Packet) {
+		tr.emit(Event{Kind: RX, T: at, From: -1, To: gs, Packet: pkt})
 	})
 }
 

@@ -138,7 +138,7 @@ func (f *TCPFlow) bbrCwnd() float64 {
 func (f *TCPFlow) bbrSchedulePacedSend(delay sim.Time) {
 	f.bbr.pacingGen++
 	gen := f.bbr.pacingGen
-	f.Net.Sim.Schedule(delay, func() {
+	f.clk.Schedule(delay, func() {
 		if f.bbr.pacingGen == gen {
 			f.bbrPacedSend()
 		}
@@ -162,7 +162,7 @@ func (f *TCPFlow) bbrPacedSend() {
 			f.sndNxt++ // skip already-received data after go-back-N
 		} else {
 			b.deliveredAt[seq] = b.delivered
-			b.sentStamp[seq] = f.Net.Sim.Now()
+			b.sentStamp[seq] = f.clk.Now()
 			f.sendSegment(seq, false)
 			f.sndNxt++
 			f.armRTO()
@@ -175,7 +175,7 @@ func (f *TCPFlow) bbrPacedSend() {
 // ack). Called from onNewAck before the window fields are reused.
 func (f *TCPFlow) bbrOnAck(prevUna, ack int64) {
 	b := f.bbr
-	now := f.Net.Sim.Now()
+	now := f.clk.Now()
 	b.inRTORecovery = false
 	newly := ack - prevUna
 	b.delivered += newly

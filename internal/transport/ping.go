@@ -42,6 +42,7 @@ type PingResult struct {
 // Replied = false.
 type Pinger struct {
 	Net    *sim.Network
+	clk    sim.Clock
 	cfg    PingConfig
 	FlowID uint32
 	SrcGS  int
@@ -56,7 +57,7 @@ type Pinger struct {
 // NewPinger creates a pinger and registers both endpoints. Call Start.
 func NewPinger(net *sim.Network, ids *FlowIDs, srcGS, dstGS int, cfg PingConfig) *Pinger {
 	p := &Pinger{
-		Net: net, cfg: cfg.withDefaults(), FlowID: ids.Next(),
+		Net: net, clk: net.Clock(srcGS), cfg: cfg.withDefaults(), FlowID: ids.Next(),
 		SrcGS: srcGS, DstGS: dstGS, index: map[int64]int{},
 	}
 	net.RegisterFlow(srcGS, p.FlowID, p.onReply)
@@ -74,6 +75,10 @@ func (p *Pinger) Start() {
 	p.sendNext()
 }
 
+// StartAfter schedules Start after a delay on the flow's own engine (the
+// sharded-run-safe way to stagger flow starts).
+func (p *Pinger) StartAfter(delay sim.Time) { p.clk.Schedule(delay, p.Start) }
+
 // Stop halts the request stream.
 func (p *Pinger) Stop() { p.running = false }
 
@@ -81,13 +86,13 @@ func (p *Pinger) sendNext() {
 	if !p.running {
 		return
 	}
-	now := p.Net.Sim.Now()
+	now := p.clk.Now()
 	p.index[p.next] = len(p.results)
 	p.results = append(p.results, PingResult{Seq: p.next, SentAt: now})
 	p.Net.Send(p.SrcGS, p.DstGS, p.FlowID, p.cfg.Size,
 		pingPayload{seq: p.next, sentAt: now})
 	p.next++
-	p.Net.Sim.Schedule(p.cfg.Interval, p.sendNext)
+	p.clk.Schedule(p.cfg.Interval, p.sendNext)
 }
 
 // onRequest echoes a request back to the source.
@@ -110,7 +115,7 @@ func (p *Pinger) onReply(pkt *sim.Packet) {
 	if !ok {
 		return
 	}
-	p.results[i].RTT = p.Net.Sim.Now() - pl.sentAt
+	p.results[i].RTT = p.clk.Now() - pl.sentAt
 	p.results[i].Replied = true
 }
 

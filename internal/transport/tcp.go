@@ -149,6 +149,7 @@ type tcpSegment struct {
 // the paper's per-connection figures show.
 type TCPFlow struct {
 	Net    *sim.Network
+	clk    sim.Clock
 	cfg    TCPConfig
 	FlowID uint32
 	SrcGS  int
@@ -239,6 +240,7 @@ func NewTCPFlow(net *sim.Network, ids *FlowIDs, srcGS, dstGS int, cfg TCPConfig)
 	if cfg.Algorithm == BBR {
 		f.bbr = newBBR()
 	}
+	f.clk = net.Clock(srcGS)
 	net.RegisterFlow(srcGS, f.FlowID, f.onSenderPacket)
 	net.RegisterFlow(dstGS, f.FlowID, f.onReceiverPacket)
 	return f
@@ -250,8 +252,12 @@ func (f *TCPFlow) Config() TCPConfig { return f.cfg }
 // Cwnd returns the current congestion window in segments.
 func (f *TCPFlow) Cwnd() float64 { return f.cwnd }
 
+// StartAfter schedules Start after a delay on the flow's own engine (the
+// sharded-run-safe way to stagger flow starts).
+func (f *TCPFlow) StartAfter(delay sim.Time) { f.clk.Schedule(delay, f.Start) }
+
 // Start begins transmission at the simulator's current time (schedule it
-// via the simulator for delayed starts).
+// via StartAfter for delayed starts).
 func (f *TCPFlow) Start() {
 	if f.started {
 		panic("transport: TCP flow started twice")
@@ -287,7 +293,7 @@ func (f *TCPFlow) logCwnd() {
 		check.Assert(f.ssthresh >= 1, "flow %d ssthresh %v below 1 segment", f.FlowID, f.ssthresh)
 		check.Assert(f.sndUna <= f.sndNxt, "flow %d sndUna %d ahead of sndNxt %d", f.FlowID, f.sndUna, f.sndNxt)
 	}
-	f.CwndLog.Add(f.Net.Sim.Now(), f.cwnd)
+	f.CwndLog.Add(f.clk.Now(), f.cwnd)
 }
 
 // flightSize returns the number of unacknowledged segments.
@@ -318,7 +324,7 @@ func (f *TCPFlow) sendSegment(seq int64, retx bool) {
 		f.everRetx[seq] = true
 		f.RetxCount++
 	} else {
-		f.sentAt[seq] = f.Net.Sim.Now()
+		f.sentAt[seq] = f.clk.Now()
 	}
 	f.Net.Send(f.SrcGS, f.DstGS, f.FlowID, f.cfg.MSS+f.cfg.HeaderBytes,
 		tcpSegment{seq: seq, retx: retx})
@@ -361,7 +367,7 @@ func (f *TCPFlow) onReceiverPacket(pkt *sim.Packet) {
 		}
 		// Arm the delayed-ACK timer for a lone segment.
 		gen := f.delAckGen
-		f.Net.Sim.Schedule(f.cfg.DelAckTimeout, func() {
+		f.clk.Schedule(f.cfg.DelAckTimeout, func() {
 			if f.delAckGen == gen && f.delAckCnt > 0 {
 				f.sendAck()
 			}
@@ -445,7 +451,7 @@ func (f *TCPFlow) onNewAck(ack int64) {
 		for seq := ack - 1; seq >= f.sndUna; seq-- {
 			t0, ok := f.sentAt[seq]
 			if ok && !f.everRetx[seq] {
-				f.sampleRTT(f.Net.Sim.Now() - t0)
+				f.sampleRTT(f.clk.Now() - t0)
 				break
 			}
 			if ok {
@@ -468,7 +474,7 @@ func (f *TCPFlow) onNewAck(ack int64) {
 		f.sndNxt = f.sndUna
 	}
 	f.AckedSegments = ack
-	f.AckedLog.Add(f.Net.Sim.Now(), float64(newly*int64(f.cfg.MSS)))
+	f.AckedLog.Add(f.clk.Now(), float64(newly*int64(f.cfg.MSS)))
 	f.backoff = 0
 
 	if f.inRecovery {
@@ -594,7 +600,7 @@ func (f *TCPFlow) onDupAck() {
 // Vegas' delay tracking.
 func (f *TCPFlow) sampleRTT(rtt sim.Time) {
 	r := rtt.Seconds()
-	f.RTTLog.Add(f.Net.Sim.Now(), r)
+	f.RTTLog.Add(f.clk.Now(), r)
 	if f.srtt == 0 {
 		f.srtt = r
 		f.rttvar = r / 2
@@ -680,7 +686,7 @@ func (f *TCPFlow) armRTO() {
 	if d > f.cfg.MaxRTO {
 		d = f.cfg.MaxRTO
 	}
-	f.Net.Sim.Schedule(d, func() {
+	f.clk.Schedule(d, func() {
 		if f.rtoGen == gen {
 			f.onTimeout()
 		}

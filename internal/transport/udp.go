@@ -27,6 +27,7 @@ func (c UDPConfig) withDefaults() UDPConfig {
 // of payload arrivals.
 type UDPFlow struct {
 	Net    *sim.Network
+	clk    sim.Clock
 	cfg    UDPConfig
 	FlowID uint32
 	SrcGS  int
@@ -46,8 +47,11 @@ func NewUDPFlow(net *sim.Network, ids *FlowIDs, srcGS, dstGS int, cfg UDPConfig)
 	if cfg.RateBps <= 0 {
 		panic("transport: UDP flow needs a positive rate")
 	}
-	f := &UDPFlow{Net: net, cfg: cfg, FlowID: ids.Next(), SrcGS: srcGS, DstGS: dstGS}
+	f := &UDPFlow{Net: net, clk: net.Clock(srcGS), cfg: cfg, FlowID: ids.Next(), SrcGS: srcGS, DstGS: dstGS}
 	net.RegisterFlow(dstGS, f.FlowID, f.onReceive)
+	// The sender's pacing timer and the sink's counters are one flow object:
+	// keep both endpoints on one shard engine.
+	net.Colocate(srcGS, dstGS)
 	return f
 }
 
@@ -59,6 +63,10 @@ func (f *UDPFlow) Start() {
 	f.running = true
 	f.sendNext()
 }
+
+// StartAfter schedules Start after a delay on the flow's own engine (the
+// sharded-run-safe way to stagger flow starts).
+func (f *UDPFlow) StartAfter(delay sim.Time) { f.clk.Schedule(delay, f.Start) }
 
 // Stop halts the sender after the next scheduled packet.
 func (f *UDPFlow) Stop() { f.running = false }
@@ -74,13 +82,13 @@ func (f *UDPFlow) sendNext() {
 	f.Net.Send(f.SrcGS, f.DstGS, f.FlowID, wire, f.cfg.PayloadSize)
 	f.sent++
 	// Pace at the configured rate counted over wire bytes.
-	f.Net.Sim.Schedule(sim.Seconds(float64(wire*8)/f.cfg.RateBps), f.sendNext)
+	f.clk.Schedule(sim.Seconds(float64(wire*8)/f.cfg.RateBps), f.sendNext)
 }
 
 func (f *UDPFlow) onReceive(pkt *sim.Packet) {
 	payload := pkt.Payload.(int)
 	f.ReceivedPayloadBytes += int64(payload)
-	f.ReceivedLog.Add(f.Net.Sim.Now(), float64(payload))
+	f.ReceivedLog.Add(f.clk.Now(), float64(payload))
 }
 
 // GoodputBps returns average payload goodput over the elapsed time.
