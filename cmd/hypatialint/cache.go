@@ -39,7 +39,9 @@ func hashf(h io.Writer, format string, args ...any) {
 // cacheSchema versions the entry format and the analyzer itself: bump it
 // whenever a check's behavior changes, so stale entries self-invalidate.
 // Schema 2: confinement check + per-package confinement facts.
-const cacheSchema = 2
+// Schema 3: handlesafety check (handle domains, epochs, exhaustiveness),
+// per-package handle facts, and the check-name tiebreak in finding order.
+const cacheSchema = 3
 
 // pkgMeta is the cheap, imports-only view of one package directory used
 // for cache keying and load scheduling — no type-checking involved.
@@ -106,6 +108,7 @@ func scanMeta(l *loader, path, dir string) (*pkgMeta, error) {
 	m := &pkgMeta{path: path, dir: dir, contentHash: hex.EncodeToString(h.Sum(nil))}
 	for d := range deps {
 		if d != path {
+			//lint:ignore locksafety metadata discovery completes before loadAll launches the goroutines that read deps
 			m.deps = append(m.deps, d)
 		}
 	}
@@ -149,7 +152,7 @@ func discoverMetas(l *loader, targetPaths []string) (map[string]*pkgMeta, error)
 func configHash(cfg config) string {
 	h := sha256.New()
 	hashf(h, "schema %d\ngo %s\nmodule %s\n", cacheSchema, runtime.Version(), cfg.module)
-	for _, scope := range [][]string{cfg.simScope, cfg.unitScope, cfg.lockScope, cfg.pureScope} {
+	for _, scope := range [][]string{cfg.simScope, cfg.unitScope, cfg.lockScope, cfg.pureScope, cfg.handleScope} {
 		hashf(h, "scope %s\n", strings.Join(scope, ","))
 	}
 	return hex.EncodeToString(h.Sum(nil))
@@ -203,6 +206,9 @@ type cacheEntry struct {
 	// annotations the package declares (JSON object keys marshal sorted, so
 	// warm entries stay byte-identical to cold ones).
 	Confinement map[string]string `json:"confinement,omitempty"`
+	// Handles records the //hypatia:handle, //hypatia:epoch, and
+	// //hypatia:exhaustive annotations the package declares.
+	Handles map[string]string `json:"handles,omitempty"`
 }
 
 // entryFile maps an import path to its entry file name.
@@ -239,11 +245,11 @@ func readCacheEntry(cacheDir, path, key, root string) ([]Finding, bool) {
 
 // writeCacheEntry persists one package's findings (already in their final
 // sorted order) and effect summaries, atomically via temp file + rename.
-func writeCacheEntry(cacheDir, path, key, root string, findings []Finding, effects map[string][]string, confinement map[string]string) error {
+func writeCacheEntry(cacheDir, path, key, root string, findings []Finding, effects map[string][]string, confinement, handles map[string]string) error {
 	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
 		return err
 	}
-	e := cacheEntry{Schema: cacheSchema, Key: key, Package: path, Effects: effects, Confinement: confinement}
+	e := cacheEntry{Schema: cacheSchema, Key: key, Package: path, Effects: effects, Confinement: confinement, Handles: handles}
 	for _, f := range findings {
 		rel, err := filepath.Rel(root, f.Pos.Filename)
 		if err != nil {

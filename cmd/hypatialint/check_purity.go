@@ -38,10 +38,10 @@ import (
 // checkPurityPkgs runs the purity check over the lint targets, using effect
 // summaries computed over every loaded package. It returns the analysis so
 // the driver can persist per-package effect facts.
-func checkPurityPkgs(targets, all []*pkg, cg *callGraph, cfg config, conf *confIndex, rep *reporter) *effectAnalysis {
+func checkPurityPkgs(targets, all []*pkg, cg *callGraph, cfg config, conf *confIndex, hx *handleIndex, rep *reporter) *effectAnalysis {
 	an := analyzeEffects(all, cg, cfg.module)
 	for _, p := range targets {
-		pc := &purityChecker{an: an, p: p, conf: conf, rep: rep}
+		pc := &purityChecker{an: an, p: p, conf: conf, handles: hx, rep: rep}
 		pc.checkDirectiveComments()
 		pc.checkAnnotated()
 		pc.checkImplementers()
@@ -53,10 +53,11 @@ func checkPurityPkgs(targets, all []*pkg, cg *callGraph, cfg config, conf *confI
 }
 
 type purityChecker struct {
-	an   *effectAnalysis
-	p    *pkg
-	conf *confIndex
-	rep  *reporter
+	an      *effectAnalysis
+	p       *pkg
+	conf    *confIndex
+	handles *handleIndex
+	rep     *reporter
 }
 
 // checkDirectiveComments flags //hypatia: comments that are malformed or
@@ -70,7 +71,7 @@ func (pc *purityChecker) checkDirectiveComments() {
 					continue
 				}
 				verb := rest
-				if i := strings.IndexByte(verb, ' '); i >= 0 {
+				if i := strings.IndexAny(verb, " ("); i >= 0 {
 					verb = verb[:i]
 				}
 				switch verb {
@@ -89,9 +90,24 @@ func (pc *purityChecker) checkDirectiveComments() {
 						pc.rep.add(c.Pos(), checkDirective,
 							"//hypatia:transfer has no effect here; it belongs in the doc comment of a function or method")
 					}
+				case "handle":
+					if !pc.handles.honored[c.Pos()] {
+						pc.rep.add(c.Pos(), checkDirective,
+							"//hypatia:handle has no effect here; it belongs on a handle-carrying field, a func doc comment, or trailing an assignment as a coercion")
+					}
+				case "epoch":
+					if !pc.handles.honored[c.Pos()] {
+						pc.rep.add(c.Pos(), checkDirective,
+							"//hypatia:epoch has no effect here; it belongs on an epoch-counter field or in the doc comment of an invalidating function")
+					}
+				case "exhaustive":
+					if !pc.handles.honored[c.Pos()] {
+						pc.rep.add(c.Pos(), checkDirective,
+							"//hypatia:exhaustive has no effect here; it belongs in the doc comment of a defined tag type")
+					}
 				default:
 					pc.rep.add(c.Pos(), checkDirective,
-						fmt.Sprintf("unknown //hypatia: directive %q (supported: //hypatia:pure, //hypatia:confined, //hypatia:transfer)", "hypatia:"+verb))
+						fmt.Sprintf("unknown //hypatia: directive %q (supported: //hypatia:pure, //hypatia:confined, //hypatia:transfer, //hypatia:handle, //hypatia:epoch, //hypatia:exhaustive)", "hypatia:"+verb))
 				}
 			}
 		}

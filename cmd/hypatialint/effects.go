@@ -166,6 +166,9 @@ type effectAnalysis struct {
 	// the driver can persist per-package confinement facts alongside the
 	// effect summaries.
 	conf *confIndex
+	// handles is the handle/epoch annotation index, attached by lintPackages
+	// for the same reason.
+	handles *handleIndex
 }
 
 // pureDirective is the annotation marking a function (or a named function

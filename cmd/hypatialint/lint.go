@@ -22,6 +22,7 @@ const (
 	checkStaleIgnore    = "staleignore"    // //lint:ignore directives that no longer match any finding
 	checkPurity         = "purity"         // //hypatia:pure contract violations and unannotated pipeline callees
 	checkConfinement    = "confinement"    // //hypatia:confined values reachable from more than one goroutine
+	checkHandleSafety   = "handlesafety"   // wrong-domain or stale handles indexing annotated arrays; non-exhaustive tag switches
 	checkDirective      = "directive"      // malformed //lint: or //hypatia: comments
 )
 
@@ -37,6 +38,7 @@ var checkDocs = [][2]string{
 	{checkStaleIgnore, "//lint:ignore directives must still match a finding; delete them when the code is fixed"},
 	{checkPurity, "//hypatia:pure functions must be effect-free and call only annotated functions; pipeline goroutine bodies are held to the worker contract"},
 	{checkConfinement, "//hypatia:confined values must stay reachable from at most one goroutine; ownership transfers only over channels or //hypatia:transfer calls"},
+	{checkHandleSafety, "indexes into //hypatia:handle arrays must carry the matching domain and predate no //hypatia:epoch invalidation; switches over //hypatia:exhaustive tags must cover every constant or have a default"},
 	{checkDirective, "//lint:ignore directives must name a check and give a reason; //hypatia: comments must be valid and take effect"},
 }
 
@@ -108,10 +110,12 @@ func (r *reporter) sorted() []Finding {
 	return r.findings
 }
 
-// sortFindings orders findings by file/line/column, stably. The driver
-// relies on the stability: cached entries hold each package's findings in
-// their cold-run order, so re-sorting the assembled mix of cached and
-// fresh findings reproduces the cold output byte for byte.
+// sortFindings orders findings by file/line/column/check, stably. The
+// driver relies on the stability: cached entries hold each package's
+// findings in their cold-run order, so re-sorting the assembled mix of
+// cached and fresh findings reproduces the cold output byte for byte. The
+// check-name tiebreak keeps co-located findings from different families in
+// a fixed order regardless of which family ran first.
 func sortFindings(findings []Finding) {
 	sort.SliceStable(findings, func(i, j int) bool {
 		a, b := findings[i].Pos, findings[j].Pos
@@ -121,7 +125,10 @@ func sortFindings(findings []Finding) {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return a.Column < b.Column
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Check < findings[j].Check
 	})
 }
 
@@ -195,6 +202,9 @@ type config struct {
 	// pureScope identifies the packages whose goroutine bodies are pipeline
 	// workers, held to the purity root contract.
 	pureScope []string
+	// handleScope identifies the struct-of-arrays packages, where the
+	// handlesafety domain/epoch dataflow applies.
+	handleScope []string
 	// module is the module path of the tree under analysis, filled in by
 	// lint() from go.mod; the effect analysis uses it to tell module-local
 	// bodyless callees (interface methods) from standard-library calls.
@@ -219,10 +229,15 @@ func lintPackages(targets, all []*pkg, cg *callGraph, cfg config, rep *reporter)
 		checkLifecyclePkg(p, rep)
 	}
 	checkUnitSafetyPkgs(targets, all, cfg, rep)
+	hx := collectHandleDirectives(all)
+	// handlesafety runs before the purity pass so coercion directives are
+	// already marked honored when checkDirectiveComments validates them.
+	checkHandleSafetyPkgs(targets, all, cfg, hx, rep)
 	conf := collectConfinementDirectives(all)
 	checkLockSafetyPkgs(targets, cg, cfg, conf, rep)
-	an := checkPurityPkgs(targets, all, cg, cfg, conf, rep)
+	an := checkPurityPkgs(targets, all, cg, cfg, conf, hx, rep)
 	an.conf = conf
+	an.handles = hx
 	checkConfinementPkgs(targets, all, cg, an, conf, cfg, rep)
 	rep.reportStale()
 	return an

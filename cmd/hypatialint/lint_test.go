@@ -22,7 +22,8 @@ var fixtureCfg = config{
 	// The purity-root fixture lives under purity/core rather than
 	// internal/core so the locksafety fixture's goroutines stay out of the
 	// pure scope and vice versa.
-	pureScope: []string{"purity/core"},
+	pureScope:   []string{"purity/core"},
+	handleScope: []string{"internal/sim", "internal/graph", "internal/routing"},
 }
 
 // loadExpectations scans the fixture tree for `// want <check>...` comments
@@ -107,7 +108,7 @@ func TestFixtures(t *testing.T) {
 	for _, name := range []string{
 		checkNondeterminism, checkTimeUnits, checkDroppedError, checkCopyLock,
 		checkLifecycle, checkUnitSafety, checkLockSafety, checkStaleIgnore,
-		checkPurity, checkConfinement, checkDirective,
+		checkPurity, checkConfinement, checkHandleSafety, checkDirective,
 	} {
 		if !families[name] {
 			t.Errorf("check family %q produced no findings on its fixtures", name)
@@ -187,6 +188,98 @@ func TestConfinementFixtureFailsAlone(t *testing.T) {
 	}
 	if !jsonPathed {
 		t.Error("-json output carries no confinement finding with its escape path")
+	}
+}
+
+// TestHandlesFixtureFailsAlone pins the acceptance criterion that each of
+// the three seeded handlesafety bug classes — cross-domain index, stale
+// handle after an epoch bump, and non-exhaustive tag switch — fails the
+// lint when the fixture is run by itself, with the full acquire →
+// invalidate → use path present in both the text rendering and the -json
+// output.
+func TestHandlesFixtureFailsAlone(t *testing.T) {
+	if code := run([]string{"./testdata/src/internal/sim/handles"}); code != 1 {
+		t.Fatalf("run on handles fixture = %d, want 1", code)
+	}
+	findings, err := lint(".", []string{"./testdata/src/internal/sim/handles"}, fixtureCfg)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	var crossDomain, stalePath, exhaustive bool
+	for _, f := range findings {
+		if f.Check != checkHandleSafety {
+			continue
+		}
+		switch {
+		case strings.Contains(f.Msg, "uses a node handle"):
+			crossDomain = true
+		case strings.Contains(f.Msg, "stale ring-slot handle: acquired at fixture.go:") &&
+			strings.Contains(f.Msg, "→ invalidated by call to table.reset at fixture.go:") &&
+			strings.Contains(f.Msg, "→ used here"):
+			stalePath = true
+		case strings.Contains(f.Msg, "does not cover kDrop"):
+			exhaustive = true
+		}
+	}
+	if !crossDomain {
+		t.Error("no cross-domain index finding")
+	}
+	if !stalePath {
+		t.Errorf("no stale-handle finding with the full acquire → invalidate → use path; findings:\n%v", findings)
+	}
+	if !exhaustive {
+		t.Error("no tagged-union exhaustiveness finding")
+	}
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, findings); err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+	var decoded []jsonFinding
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("decode -json output: %v", err)
+	}
+	var jsonPathed bool
+	for _, d := range decoded {
+		if d.Check == checkHandleSafety && strings.Contains(d.Message, "→ invalidated by") {
+			jsonPathed = true
+		}
+	}
+	if !jsonPathed {
+		t.Error("-json output carries no handlesafety finding with its invalidation path")
+	}
+}
+
+// TestFindingsSortedByPosition pins the output ordering contract: findings
+// are sorted by file, then line, then column, then check name, in both the
+// serial path and (via TestDriverMatchesSerialLint) the cached driver.
+func TestFindingsSortedByPosition(t *testing.T) {
+	findings, err := lint(".", []string{"./testdata/src/..."}, fixtureCfg)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	if len(findings) < 2 {
+		t.Fatalf("need at least two findings to check ordering, got %d", len(findings))
+	}
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1], findings[i]
+		ka := fmt.Sprintf("%s\x00%08d\x00%08d\x00%s", a.Pos.Filename, a.Pos.Line, a.Pos.Column, a.Check)
+		kb := fmt.Sprintf("%s\x00%08d\x00%08d\x00%s", b.Pos.Filename, b.Pos.Line, b.Pos.Column, b.Check)
+		if ka > kb {
+			t.Errorf("findings %d and %d out of (file, line, col, check) order:\n  %v\n  %v", i-1, i, a, b)
+		}
+	}
+	// The ordering must also survive a shuffle through sortFindings itself
+	// so the contract does not silently depend on discovery order.
+	shuffled := append([]Finding(nil), findings...)
+	for i := range shuffled {
+		j := (i*7 + 3) % len(shuffled)
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	}
+	sortFindings(shuffled)
+	for i := range shuffled {
+		if shuffled[i].String() != findings[i].String() {
+			t.Fatalf("sortFindings not canonical at %d: %v vs %v", i, shuffled[i], findings[i])
+		}
 	}
 }
 
@@ -391,6 +484,11 @@ type scratchArena struct{ n int }
 
 //hypatia:transfer
 func handoff(a *scratchArena) *scratchArena { return a }
+
+// scratchRing exists so the entry must carry handle facts.
+type scratchRing struct {
+	owner int //hypatia:handle(node)
+}
 `
 	if err := os.WriteFile(srcFile, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
@@ -419,6 +517,15 @@ func handoff(a *scratchArena) *scratchArena { return a }
 	}
 	if entry.Confinement["type scratchArena"] != "confined" || entry.Confinement["func handoff"] != "transfer" {
 		t.Errorf("cache entry confinement facts = %v, want the scratch annotations persisted", entry.Confinement)
+	}
+	var handlePersisted bool
+	for k, v := range entry.Handles {
+		if strings.HasPrefix(k, "field owner at scratch.go:") && v == "handle node" {
+			handlePersisted = true
+		}
+	}
+	if !handlePersisted {
+		t.Errorf("cache entry handle facts = %v, want the owner field annotation persisted", entry.Handles)
 	}
 
 	const marker = "TAMPERED-BY-TEST"

@@ -49,6 +49,16 @@
 //	                with channel send/receive and //hypatia:transfer calls
 //	                as the only ownership-transfer points; violations report
 //	                the full allocation→escape path
+//	handlesafety    //hypatia:handle(<domain>) types the raw integer handles
+//	                of the struct-of-arrays simulator core: a flow-sensitive
+//	                taint lattice proves every index into an annotated array
+//	                carries the matching domain; //hypatia:epoch operations
+//	                (ring advance, graph.Reset, CloneInto) invalidate
+//	                outstanding handles, and a handle used after an
+//	                invalidation on any path is reported with the full
+//	                acquire → invalidate → use chain; switches over a
+//	                //hypatia:exhaustive tag type must cover every constant
+//	                or carry a default
 //	directive       //lint: and //hypatia: comments that are malformed,
 //	                name an unknown directive, or sit where they take no
 //	                effect
@@ -101,14 +111,16 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("hypatialint", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
-	simScope := fs.String("simscope", "internal/sim,internal/transport,internal/routing,internal/core",
-		"comma-separated import-path substrings identifying simulator-core packages (scope of the nondeterminism check)")
+	simScope := fs.String("simscope", "internal/sim,internal/transport,internal/routing,internal/core,cmd/hypatialint",
+		"comma-separated import-path substrings identifying simulator-core packages (scope of the nondeterminism check); the analyzer lints itself — warm-cache output must be byte-identical, so it is held to the same determinism bar")
 	unitScope := fs.String("unitscope", "internal/orbit,internal/geom,internal/tle",
 		"comma-separated import-path substrings identifying orbit-math packages (scope of the unitsafety check)")
-	lockScope := fs.String("lockscope", "internal/core",
-		"comma-separated import-path substrings identifying event-loop/worker packages (scope of the locksafety check)")
+	lockScope := fs.String("lockscope", "internal/core,cmd/hypatialint",
+		"comma-separated import-path substrings identifying event-loop/worker packages (scope of the locksafety check); includes the analyzer's own parallel driver")
 	pureScope := fs.String("purescope", "internal/core",
 		"comma-separated import-path substrings identifying pipeline packages whose goroutine bodies are held to the purity contract")
+	handleScope := fs.String("handlescope", "internal/sim,internal/graph,internal/routing",
+		"comma-separated import-path substrings identifying struct-of-arrays packages (scope of the handlesafety check)")
 	jsonOut := fs.Bool("json", false, "print findings as a JSON array (includes suppressed findings with their state)")
 	cacheDir := fs.String("cache", "", "fact-cache directory (default <module root>/.hypatialint-cache)")
 	noCache := fs.Bool("nocache", false, "disable the on-disk fact cache (packages are still loaded in parallel)")
@@ -133,10 +145,11 @@ func run(args []string) int {
 	}
 
 	cfg := config{
-		simScope:  splitList(*simScope),
-		unitScope: splitList(*unitScope),
-		lockScope: splitList(*lockScope),
-		pureScope: splitList(*pureScope),
+		simScope:    splitList(*simScope),
+		unitScope:   splitList(*unitScope),
+		lockScope:   splitList(*lockScope),
+		pureScope:   splitList(*pureScope),
+		handleScope: splitList(*handleScope),
 	}
 	findings, err := lintDriver(".", patterns, cfg, *cacheDir, !*noCache)
 	if err != nil {

@@ -1,0 +1,194 @@
+// Package handles seeds the handlesafety fixture bugs — a cross-domain
+// index, stale-epoch uses after arena invalidations, an unprovable index,
+// and a non-exhaustive tag switch — alongside the sanctioned patterns that
+// must stay clean: matching domains, trailing coercions for flat-index
+// arithmetic and counting loops, annotated returns, and exhaustive or
+// defaulted switches.
+package handles
+
+// kind is the event tag; every switch over it must cover all constants or
+// carry a default.
+//
+//hypatia:exhaustive
+type kind uint8
+
+const (
+	kSend kind = iota
+	kRecv
+	kDrop
+)
+
+// table is a miniature struct-of-arrays core: devices addressed by node,
+// queue lengths addressed by device, and a ring arena whose head write
+// invalidates outstanding slots.
+type table struct {
+	devs   []int32 //hypatia:handle(node->device)
+	queues []int32 //hypatia:handle(device)
+	rings  []int32 //hypatia:handle(ring-slot)
+	head   int32   //hypatia:epoch(ring-slot)
+	count  int32
+}
+
+// lookup is domain-correct end to end: node indexes devs, and the device
+// element indexes queues.
+//
+//hypatia:handle(node: node)
+func (t *table) lookup(node int32) int32 {
+	d := t.devs[node]
+	return t.queues[d]
+}
+
+// crossDomain seeds fixture bug 1: a node handle indexing the
+// device-indexed queues array.
+//
+//hypatia:handle(node: node)
+func (t *table) crossDomain(node int32) int32 {
+	return t.queues[node] // want handlesafety
+}
+
+// reset rewinds the ring arena; the head write bumps the ring-slot epoch,
+// and the invalidation propagates to reset's callers without any
+// annotation of its own.
+func (t *table) reset() {
+	t.head = 0
+}
+
+// staleRing seeds fixture bug 2: slot is acquired at entry, reset bumps
+// the ring-slot epoch mid-function, and the second dereference is stale.
+//
+//hypatia:handle(slot: ring-slot)
+func (t *table) staleRing(slot int32) int32 {
+	a := t.rings[slot]
+	t.reset()
+	return a + t.rings[slot] // want handlesafety
+}
+
+// wipe rebuilds the ring arena wholesale; the epoch directive declares the
+// invalidation explicitly.
+//
+//hypatia:epoch(t: ring-slot)
+func wipe(t *table) {
+	for i := range t.rings {
+		t.rings[i] = 0
+	}
+}
+
+// staleAfterWipe is bug 2 again through the annotated invalidator.
+//
+//hypatia:handle(slot: ring-slot)
+func staleAfterWipe(t *table, slot int32) int32 {
+	wipe(t)
+	return t.rings[slot] // want handlesafety
+}
+
+// freshAfterWipe re-acquires after the invalidation; no finding.
+func freshAfterWipe(t *table) int32 {
+	wipe(t)
+	slot := t.head //hypatia:handle(ring-slot) head is the next live slot
+	return t.rings[slot]
+}
+
+// dispatch seeds fixture bug 3: the switch misses kDrop and has no
+// default, so a new event kind would fall through silently.
+func dispatch(k kind) int32 {
+	switch k { // want handlesafety
+	case kSend:
+		return 1
+	case kRecv:
+		return 2
+	}
+	return 0
+}
+
+// dispatchAll covers every constant; no finding.
+func dispatchAll(k kind) int32 {
+	switch k {
+	case kSend, kRecv, kDrop:
+		return 1
+	}
+	return 0
+}
+
+// dispatchDefault relies on its default arm; no finding.
+func dispatchDefault(k kind) int32 {
+	switch k {
+	case kSend:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// pick returns a device handle for the node; the return annotation makes
+// the result usable at device sinks.
+//
+//hypatia:handle(node: node, return: device)
+func (t *table) pick(node int32) int32 {
+	return t.devs[node]
+}
+
+// usesPick consumes the annotated return correctly; no finding.
+//
+//hypatia:handle(node: node)
+func (t *table) usesPick(node int32) int32 {
+	return t.queues[t.pick(node)]
+}
+
+// wrongUse routes the device result back into the node-indexed array.
+//
+//hypatia:handle(node: node)
+func (t *table) wrongUse(node int32) int32 {
+	return t.devs[t.pick(node)] // want handlesafety
+}
+
+// flatIndex shows the sanctioned pattern for flat-index arithmetic: the
+// multiplication forgets the domain and the trailing coercion re-proves it.
+//
+//hypatia:handle(d: device)
+func (t *table) flatIndex(d int32) int32 {
+	slot := d*4 + t.head //hypatia:handle(ring-slot) flat ring addressing
+	return t.rings[slot]
+}
+
+// unproven is the same arithmetic without the coercion: the lattice cannot
+// type slot, and an untyped index into an annotated array is a finding.
+//
+//hypatia:handle(d: device)
+func (t *table) unproven(d int32) int32 {
+	slot := d * 4
+	return t.rings[slot] // want handlesafety
+}
+
+// sweep shows the counting-loop coercion; no finding.
+func (t *table) sweep() int32 {
+	var n int32
+	for i := int32(0); i < int32(len(t.devs)); i++ { //hypatia:handle(node)
+		if t.devs[i] >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// suppressed is a deliberate domain pun, excused with a tracked ignore.
+//
+//hypatia:handle(node: node)
+func (t *table) suppressed(node int32) int32 {
+	//lint:ignore handlesafety fixture exercises suppression tracking
+	return t.queues[node]
+}
+
+// cleanButIgnored carries an ignore that matches nothing, so the directive
+// itself is stale.
+//
+//hypatia:handle(node: node)
+func (t *table) cleanButIgnored(node int32) int32 {
+	//lint:ignore handlesafety stale by design // want staleignore
+	return t.devs[node]
+}
+
+// badSpot shows a coercion that trails no store: it takes no effect and is
+// reported as a misplaced directive.
+func badSpot() int32 {
+	return 3 //hypatia:handle(node) // want directive
+}

@@ -141,9 +141,10 @@ type Satellite struct {
 }
 
 // ISL is an undirected laser inter-satellite link between two satellites,
-// identified by constellation index.
+// identified by constellation index. Satellite indices double as node ids
+// in the routing topology (satellites occupy 0..S-1).
 type ISL struct {
-	A, B int
+	A, B int //hypatia:handle(node)
 }
 
 // ISLMode selects the inter-satellite interconnect.
@@ -366,6 +367,7 @@ func (c *Constellation) VisibleFrom(obs geom.LLA, t float64, positions []geom.Ve
 // repeated visibility scans allocation-free in steady state.
 //
 //hypatia:pure
+//hypatia:handle(out: ->node, return: ->node)
 func (c *Constellation) VisibleFromInto(obs geom.LLA, t float64, positions []geom.Vec3, out []int) []int {
 	if positions == nil {
 		positions = c.PositionsECEF(t, nil)

@@ -30,7 +30,7 @@ import (
 // absence: OldW < 0 means the edge was inserted, NewW < 0 means it was
 // removed; otherwise the weight changed from OldW to NewW.
 type EdgeChange struct {
-	A, B       int32
+	A, B       int32 //hypatia:handle(node)
 	OldW, NewW float64
 }
 
@@ -40,8 +40,8 @@ type EdgeChange struct {
 //
 //hypatia:confined
 type DiffScratch struct {
-	w     []float64
-	stamp []int64
+	w     []float64 //hypatia:handle(node)
+	stamp []int64   //hypatia:handle(node)
 	gen   int64
 }
 
@@ -63,7 +63,7 @@ func DiffInto(oldG, newG *Graph, out []EdgeChange, sc *DiffScratch) []EdgeChange
 	sc.stamp = sc.stamp[:n]
 	sc.w = sc.w[:n]
 	out = out[:0]
-	for v := 0; v < n; v++ {
+	for v := 0; v < n; v++ { //hypatia:handle(node) diff walks nodes in id order
 		sc.gen++
 		g := sc.gen
 		oldAdj := oldG.adj[v]
@@ -106,15 +106,15 @@ func DiffInto(oldG, newG *Graph, out []EdgeChange, sc *DiffScratch) []EdgeChange
 //hypatia:confined
 type RepairScratch struct {
 	h         indexedHeap
-	childOff  []int32
-	childBuf  []int32
-	stack     []int32
-	roots     []int32
-	touchList []int32
-	tieList   []int32
-	stampArr  []int64
+	childOff  []int32 //hypatia:handle(node)
+	childBuf  []int32 //hypatia:handle(->node)
+	stack     []int32 //hypatia:handle(->node)
+	roots     []int32 //hypatia:handle(->node)
+	touchList []int32 //hypatia:handle(->node)
+	tieList   []int32 //hypatia:handle(->node)
+	stampArr  []int64 //hypatia:handle(node)
 	stampGen  int64
-	orderBuf  []int32
+	orderBuf  []int32 //hypatia:handle(->node)
 }
 
 // RepairSSSP patches dist and prev — a valid single-source shortest-path
@@ -129,6 +129,7 @@ type RepairScratch struct {
 // detach, and the frontier the repair grows back over.
 //
 //hypatia:pure
+//hypatia:handle(src: node, dist: node, prev: node->node)
 func (g *Graph) RepairSSSP(src int, dist []float64, prev []int32, changes []EdgeChange, sc *RepairScratch) {
 	if src < 0 || src >= g.n {
 		panic(fmt.Sprintf("graph: source %d out of range", src))
@@ -164,6 +165,7 @@ func (g *Graph) RepairSSSP(src int, dist []float64, prev []int32, changes []Edge
 // exactly Dijkstra's pop order.
 //
 //hypatia:pure
+//hypatia:handle(dist: node, a: node, b: node)
 func orderCmp(dist []float64, a, b int32) int {
 	da, db := dist[a], dist[b]
 	if da < db {
@@ -182,6 +184,7 @@ func orderCmp(dist []float64, a, b int32) int {
 // the machine-checked purity contract.
 //
 //hypatia:pure
+//hypatia:handle(order: ->node, dist: node)
 func sortByDist(order []int32, dist []float64) {
 	n := len(order)
 	for root := n/2 - 1; root >= 0; root-- {
@@ -197,6 +200,7 @@ func sortByDist(order []int32, dist []float64) {
 // subtree of order[:n] rooted at root.
 //
 //hypatia:pure
+//hypatia:handle(order: ->node, dist: node)
 func siftDownOrder(order []int32, dist []float64, root, n int) {
 	for {
 		child := 2*root + 1
@@ -218,6 +222,7 @@ func siftDownOrder(order []int32, dist []float64, root, n int) {
 // predecessor tree in prev.
 //
 //hypatia:pure
+//hypatia:handle(src: node, prev: node->node)
 func (g *Graph) buildChildren(src int, prev []int32, sc *RepairScratch) {
 	n := g.n
 	if cap(sc.childOff) < n+1 {
@@ -233,17 +238,17 @@ func (g *Graph) buildChildren(src int, prev []int32, sc *RepairScratch) {
 	// Entries that cannot be tree edges (out of range, self-referencing) are
 	// skipped rather than rejected: callers may hand in arbitrary stale prev
 	// arrays, and whatever this index omits is simply re-solved from scratch.
-	for v := 0; v < n; v++ {
+	for v := 0; v < n; v++ { //hypatia:handle(node) tree-edge count walks nodes in id order
 		if v != src && prev[v] >= 0 && int(prev[v]) < n && int(prev[v]) != v {
 			off[prev[v]+1]++
 		}
 	}
-	for i := 0; i < n; i++ {
+	for i := 0; i < n; i++ { //hypatia:handle(node) prefix sum walks nodes in id order
 		off[i+1] += off[i]
 	}
 	// Fill using off[v] as a cursor, then restore by shifting: after the
 	// fill, off[v] holds the END of v's range and off[v-1] its start.
-	for v := 0; v < n; v++ {
+	for v := 0; v < n; v++ { //hypatia:handle(node) fill walks nodes in id order
 		if v != src && prev[v] >= 0 && int(prev[v]) < n && int(prev[v]) != v {
 			sc.childBuf[off[prev[v]]] = int32(v)
 			off[prev[v]]++
@@ -256,6 +261,7 @@ func (g *Graph) buildChildren(src int, prev []int32, sc *RepairScratch) {
 // children returns node v's child range in the CSR index.
 //
 //hypatia:pure
+//hypatia:handle(v: node)
 func (sc *RepairScratch) children(v int32) []int32 {
 	return sc.childBuf[sc.childOff[v]:sc.childOff[v+1]]
 }
@@ -282,6 +288,7 @@ func (sc *RepairScratch) children(v int32) []int32 {
 // order costs time, never correctness.
 //
 //hypatia:pure
+//hypatia:handle(src: node, dist: node, prev: node->node, order: ->node)
 func (g *Graph) RepairSSSPDense(src int, dist []float64, prev []int32, order []int32, sc *RepairScratch) {
 	n := g.n
 	if src < 0 || src >= n {
@@ -371,6 +378,7 @@ func (g *Graph) RepairSSSPDense(src int, dist []float64, prev []int32, order []i
 // settles — touching only the affected region.
 //
 //hypatia:pure
+//hypatia:handle(src: node, dist: node, prev: node->node)
 func (g *Graph) repairSparse(src int, dist []float64, prev []int32, changes []EdgeChange, sc *RepairScratch) {
 	n := g.n
 	if cap(sc.stampArr) < n {
@@ -483,6 +491,7 @@ type touchFn func(int32)
 // node whose distance it writes.
 //
 //hypatia:pure
+//hypatia:handle(dist: node, prev: node->node, src: node)
 func (g *Graph) settle(dist []float64, prev []int32, src int, sc *RepairScratch, touch touchFn) int {
 	h := &sc.h
 	pops := 0
@@ -514,6 +523,7 @@ func (g *Graph) settle(dist []float64, prev []int32, src int, sc *RepairScratch,
 // order.
 //
 //hypatia:pure
+//hypatia:handle(src: node, v: node, dist: node, prev: node->node)
 func (g *Graph) canonicalPrev(src int, v int32, dist []float64, prev []int32) {
 	if int(v) == src {
 		prev[v] = int32(src)
@@ -523,7 +533,7 @@ func (g *Graph) canonicalPrev(src int, v int32, dist []float64, prev []int32) {
 		prev[v] = -1
 		return
 	}
-	best := int32(-1)
+	best := int32(-1) //hypatia:handle(node) sentinel until the first achiever lands
 	for _, e := range g.adj[v] {
 		u := e.To
 		//lint:ignore timeunits achiever test must match Dijkstra's exact float relaxation
@@ -562,7 +572,7 @@ func (g *Graph) BellmanFord(src int) ([]float64, []int32) {
 	prev[src] = int32(src)
 	for changed := true; changed; {
 		changed = false
-		for v := 0; v < g.n; v++ {
+		for v := 0; v < g.n; v++ { //hypatia:handle(node) relaxation sweeps nodes in id order
 			dv := dist[v]
 			if math.IsInf(dv, 1) {
 				continue

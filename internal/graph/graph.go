@@ -21,23 +21,23 @@ var Infinity = math.Inf(1)
 
 // Edge is a half-edge in an adjacency list.
 type Edge struct {
-	To int32
+	To int32 //hypatia:handle(node)
 	W  float64
 }
 
 // Graph is an undirected weighted graph over nodes 0..N-1.
 type Graph struct {
 	n   int
-	adj [][]Edge
+	adj [][]Edge //hypatia:handle(node)
 
 	// Lazy CSR mirror of adj for the dense-repair sweep: one contiguous
 	// (offset, target, weight) triple streams far better than per-node
 	// adjacency slabs scattered across the heap. Invalidated by any
 	// mutation, rebuilt on demand, shared by every repair over the same
 	// graph build.
-	csrOff []int32
-	csrTo  []int32
-	csrW   []float64
+	csrOff []int32   //hypatia:handle(node->csr-slot)
+	csrTo  []int32   //hypatia:handle(csr-slot->node)
+	csrW   []float64 //hypatia:handle(csr-slot)
 	csrOK  bool
 }
 
@@ -54,6 +54,7 @@ func New(n int) *Graph {
 // then performs no allocations in steady state.
 //
 //hypatia:pure
+//hypatia:epoch(recv: csr-slot)
 func (g *Graph) Reset(n int) {
 	if n <= cap(g.adj) {
 		g.adj = g.adj[:n]
@@ -74,6 +75,7 @@ func (g *Graph) Reset(n int) {
 // paths): the rebuild mutates the receiver.
 //
 //hypatia:pure
+//hypatia:handle(return: node->csr-slot, csr-slot->node, csr-slot)
 func (g *Graph) csr() (off, to []int32, w []float64) {
 	if g.csrOK {
 		return g.csrOff, g.csrTo, g.csrW
@@ -84,7 +86,7 @@ func (g *Graph) csr() (off, to []int32, w []float64) {
 	g.csrOff = g.csrOff[:g.n+1]
 	total := 0
 	g.csrOff[0] = 0
-	for v := 0; v < g.n; v++ {
+	for v := 0; v < g.n; v++ { //hypatia:handle(node) offset build walks nodes in id order
 		total += len(g.adj[v])
 		g.csrOff[v+1] = int32(total)
 	}
@@ -94,8 +96,8 @@ func (g *Graph) csr() (off, to []int32, w []float64) {
 	}
 	g.csrTo = g.csrTo[:total]
 	g.csrW = g.csrW[:total]
-	k := 0
-	for v := 0; v < g.n; v++ {
+	k := 0                     //hypatia:handle(csr-slot) CSR write cursor
+	for v := 0; v < g.n; v++ { //hypatia:handle(node) edge copy walks nodes in id order
 		for _, e := range g.adj[v] {
 			g.csrTo[k] = e.To
 			g.csrW[k] = e.W
@@ -126,6 +128,7 @@ func (g *Graph) NumEdges() int {
 // graph and must not be modified.
 //
 //hypatia:pure
+//hypatia:handle(v: node)
 func (g *Graph) Neighbors(v int) []Edge { return g.adj[v] }
 
 // AddEdge inserts an undirected edge between a and b with weight w.
@@ -133,6 +136,8 @@ func (g *Graph) Neighbors(v int) []Edge { return g.adj[v] }
 // all of which indicate a topology-construction bug.
 //
 //hypatia:pure
+//hypatia:handle(a: node, b: node)
+//hypatia:epoch(recv: csr-slot)
 func (g *Graph) AddEdge(a, b int, w float64) {
 	if a < 0 || a >= g.n || b < 0 || b >= g.n {
 		panic(fmt.Sprintf("graph: edge %d-%d out of range [0,%d)", a, b, g.n))
@@ -152,9 +157,9 @@ func (g *Graph) AddEdge(a, b int, w float64) {
 // with ties broken by node index for deterministic path selection. It
 // supports decrease-key via a position index.
 type indexedHeap struct {
-	nodes []int32   // heap array of node ids
-	pos   []int32   // pos[node] = index in nodes, -1 if absent
-	key   []float64 // key[node] = current tentative distance
+	nodes []int32   //hypatia:handle(->node)  heap array of node ids
+	pos   []int32   //hypatia:handle(node)  pos[node] = index in nodes, -1 if absent
+	key   []float64 //hypatia:handle(node)  key[node] = current tentative distance
 }
 
 // reset prepares the heap for a graph of n nodes, reusing the backing
@@ -179,6 +184,7 @@ func (h *indexedHeap) reset(n int) {
 }
 
 //hypatia:pure
+//hypatia:handle(a: node, b: node)
 func (h *indexedHeap) less(a, b int32) bool {
 	//lint:ignore timeunits exact float tie-break keeps heap ordering deterministic
 	if h.key[a] != h.key[b] {
@@ -228,6 +234,7 @@ func (h *indexedHeap) down(i int) {
 // push inserts node v with key k, or decreases its key if already present.
 //
 //hypatia:pure
+//hypatia:handle(v: node)
 func (h *indexedHeap) push(v int32, k float64) {
 	if h.pos[v] >= 0 {
 		if k >= h.key[v] {
@@ -246,6 +253,7 @@ func (h *indexedHeap) push(v int32, k float64) {
 // pop removes and returns the minimum node.
 //
 //hypatia:pure
+//hypatia:handle(return: node)
 func (h *indexedHeap) pop() int32 {
 	top := h.nodes[0]
 	last := len(h.nodes) - 1
@@ -282,6 +290,7 @@ type Scratch struct {
 // identical shortest-path tree.
 //
 //hypatia:pure
+//hypatia:handle(src: node, dist: node, prev: node->node, return: node, node->node)
 func (g *Graph) Dijkstra(src int, dist []float64, prev []int32) ([]float64, []int32) {
 	return g.DijkstraScratch(src, dist, prev, &Scratch{})
 }
@@ -291,6 +300,7 @@ func (g *Graph) Dijkstra(src int, dist []float64, prev []int32) ([]float64, []in
 // recycles allocations, never data.
 //
 //hypatia:pure
+//hypatia:handle(src: node, dist: node, prev: node->node, return: node, node->node)
 func (g *Graph) DijkstraScratch(src int, dist []float64, prev []int32, sc *Scratch) ([]float64, []int32) {
 	if src < 0 || src >= g.n {
 		panic(fmt.Sprintf("graph: source %d out of range", src))
@@ -329,6 +339,8 @@ func (g *Graph) DijkstraScratch(src int, dist []float64, prev []int32, sc *Scrat
 
 // PathFromPrev reconstructs the path src..dst from a prev array produced by
 // Dijkstra(src, ...). It returns nil if dst is unreachable.
+//
+//hypatia:handle(prev: node->node, src: node, dst: node)
 func PathFromPrev(prev []int32, src, dst int) []int {
 	if prev[dst] == -1 {
 		return nil

@@ -1,0 +1,103 @@
+package routing
+
+// Direct unit tests for ForwardingTable.CloneInto: the clone must be
+// bitwise-equal to the source and fully independent of it afterwards. The
+// sharded engine leans on both properties — each shard installs its own
+// clone of every update instant's table, and a shared entry would let one
+// engine's state leak into another's.
+
+import (
+	"slices"
+	"testing"
+)
+
+// cloneFixture builds a small table with a distinctive, non-uniform next
+// array so an aliased or partially-copied clone cannot pass by accident.
+func cloneFixture() *ForwardingTable {
+	ft := NewEmptyForwardingTable(12.5, 5, 2)
+	for i := range ft.next {
+		ft.next[i] = int32(i*3 - 1)
+	}
+	return ft
+}
+
+func TestCloneIntoBitwiseEqual(t *testing.T) {
+	src := cloneFixture()
+	clone := src.CloneInto(nil)
+	if clone == src {
+		t.Fatal("CloneInto(nil) returned the receiver, not a copy")
+	}
+	if !src.Equal(clone) || !clone.Equal(src) {
+		t.Fatalf("clone not Equal to source:\n  src   %+v\n  clone %+v", src, clone)
+	}
+	if clone.T != src.T || clone.NumNodes != src.NumNodes || clone.NumGS != src.NumGS {
+		t.Errorf("clone header differs: got (%v, %d, %d), want (%v, %d, %d)",
+			clone.T, clone.NumNodes, clone.NumGS, src.T, src.NumNodes, src.NumGS)
+	}
+	if !slices.Equal(clone.next, src.next) {
+		t.Errorf("clone entries differ:\n  src   %v\n  clone %v", src.next, clone.next)
+	}
+	if clone.pool != nil || clone.released {
+		t.Errorf("clone must start a pool-free live ownership: pool=%v released=%v", clone.pool, clone.released)
+	}
+}
+
+func TestCloneIntoIndependence(t *testing.T) {
+	src := cloneFixture()
+	clone := src.CloneInto(nil)
+	want := append([]int32(nil), src.next...)
+
+	// Mutating the clone must not show through to the source…
+	for i := range clone.next {
+		clone.next[i] = -7
+	}
+	if !slices.Equal(src.next, want) {
+		t.Errorf("mutating the clone changed the source: %v", src.next)
+	}
+	// …and mutating the source must not show through to the clone.
+	clone2 := src.CloneInto(nil)
+	for i := range src.next {
+		src.next[i] = 99
+	}
+	if slices.Contains(clone2.next, 99) {
+		t.Errorf("mutating the source changed the clone: %v", clone2.next)
+	}
+}
+
+func TestCloneIntoReusesDstBuffer(t *testing.T) {
+	src := cloneFixture()
+	// dst with a larger-capacity buffer, previously pooled and released: the
+	// clone must reuse the buffer, truncate it to the source's size, and
+	// reset the ownership state.
+	var pool TablePool
+	dst := pool.Empty(0, 4, 3)
+	dst.Release()
+	buf := dst.next[:cap(dst.next)]
+
+	clone := src.CloneInto(dst)
+	if clone != dst {
+		t.Fatal("CloneInto did not reuse the large-enough dst")
+	}
+	if &clone.next[0] != &buf[0] {
+		t.Error("CloneInto reallocated although dst's buffer was large enough")
+	}
+	if len(clone.next) != src.NumNodes*src.NumGS {
+		t.Errorf("clone buffer length %d, want %d", len(clone.next), src.NumNodes*src.NumGS)
+	}
+	if !src.Equal(clone) {
+		t.Errorf("reused-buffer clone not Equal to source:\n  src   %+v\n  clone %+v", src, clone)
+	}
+	if clone.pool != nil || clone.released {
+		t.Errorf("reused-buffer clone must drop pool ownership: pool=%v released=%v", clone.pool, clone.released)
+	}
+
+	// A too-small dst forces a fresh allocation and leaves dst alone.
+	small := &ForwardingTable{next: make([]int32, 2)}
+	clone2 := src.CloneInto(small)
+	if clone2 == small {
+		t.Fatal("CloneInto reused a too-small dst")
+	}
+	if !src.Equal(clone2) {
+		t.Error("fresh-allocation clone not Equal to source")
+	}
+}

@@ -51,13 +51,13 @@ type DeltaState struct {
 	changes []graph.EdgeChange
 	diff    graph.DiffScratch
 
-	up        []geom.Vec3 // per-GS local-up unit vector (geodetic normal)
+	up        []geom.Vec3 //hypatia:handle(gs)  per-GS local-up unit vector (geodetic normal)
 	visible   []bool      // [gs*S+sat] cached visibility status
 	nextCheck []float64   // [gs*S+sat] earliest instant the pair could flip
-	rowNext   []float64   // per-GS earliest instant any pair in the row could flip
-	rowHor    []float64   // per-GS horizon up to which watch covers the row
-	watch     [][]int32   // per-GS satellites with a deadline before the horizon
-	visLists  [][]int32   // per-GS ascending visible-satellite indices
+	rowNext   []float64   //hypatia:handle(gs)  per-GS earliest instant any pair in the row could flip
+	rowHor    []float64   //hypatia:handle(gs)  per-GS horizon up to which watch covers the row
+	watch     [][]int32   //hypatia:handle(gs->node)  per-GS satellites with a deadline before the horizon
+	visLists  [][]int32   //hypatia:handle(gs->node)  per-GS ascending visible-satellite indices
 	visValid  bool        // cache primed and valid for forward stepping
 	lastT     float64
 }
@@ -119,6 +119,7 @@ func (d *DeltaState) reset(t *Topology) {
 // margins. It reports whether the cached status flipped.
 //
 //hypatia:pure
+//hypatia:handle(gi: gs, si: node, pos: node)
 func (d *DeltaState) refreshPair(t *Topology, gi, si int, tsec float64, pos []geom.Vec3) bool {
 	c := t.Constellation
 	p := pos[si]
@@ -157,6 +158,7 @@ func (d *DeltaState) refreshPair(t *Topology, gi, si int, tsec float64, pos []ge
 // row deadline from the per-pair cache.
 //
 //hypatia:pure
+//hypatia:handle(gi: gs)
 func (d *DeltaState) rebuildRow(gi, nSat int) {
 	lst := d.visLists[gi][:0]
 	row := d.visible[gi*nSat : (gi+1)*nSat]
@@ -175,10 +177,11 @@ func (d *DeltaState) rebuildRow(gi, nSat int) {
 // watchlist.
 //
 //hypatia:pure
+//hypatia:handle(gi: gs, pos: node)
 func (d *DeltaState) scanRow(t *Topology, gi, nSat int, tsec float64, pos []geom.Vec3, refreshAll bool) {
 	base := gi * nSat
 	changed := false
-	for si := 0; si < nSat; si++ {
+	for si := 0; si < nSat; si++ { //hypatia:handle(node) satellite ids double as node ids
 		if (refreshAll || tsec >= d.nextCheck[base+si]) && d.refreshPair(t, gi, si, tsec, pos) {
 			changed = true
 		}
@@ -189,7 +192,7 @@ func (d *DeltaState) scanRow(t *Topology, gi, nSat int, tsec float64, pos []geom
 	horizon := tsec + watchHorizon
 	w := d.watch[gi][:0]
 	next := horizon
-	for si := 0; si < nSat; si++ {
+	for si := 0; si < nSat; si++ { //hypatia:handle(node) satellite ids double as node ids
 		if nc := d.nextCheck[base+si]; nc < horizon {
 			w = append(w, int32(si))
 			if nc < next {
@@ -208,6 +211,7 @@ func (d *DeltaState) scanRow(t *Topology, gi, nSat int, tsec float64, pos []geom
 // earlier of the watchlist minimum and the horizon itself.
 //
 //hypatia:pure
+//hypatia:handle(gi: gs, pos: node)
 func (d *DeltaState) serviceWatch(t *Topology, gi, nSat int, tsec float64, pos []geom.Vec3) {
 	base := gi * nSat
 	changed := false
@@ -240,6 +244,7 @@ func (d *DeltaState) serviceWatch(t *Topology, gi, nSat int, tsec float64, pos [
 // rescanned only when its watch horizon expires.
 //
 //hypatia:pure
+//hypatia:handle(pos: node)
 func (d *DeltaState) updateVisibility(t *Topology, tsec float64, pos []geom.Vec3) {
 	nSat := t.NumSats()
 	if !d.visValid || tsec < d.lastT {
@@ -265,6 +270,7 @@ func (d *DeltaState) updateVisibility(t *Topology, tsec float64, pos []geom.Vec3
 // visibility scan — the runtime form of the cache's soundness argument.
 //
 //hypatia:pure
+//hypatia:handle(pos: node)
 func (d *DeltaState) verifyVisibility(t *Topology, tsec float64, pos []geom.Vec3) {
 	var scratch []int
 	for gi, gs := range t.GroundStations {
@@ -322,7 +328,7 @@ func (d *DeltaState) snapshotFromCache(t *Topology, tsec float64, s *Snapshot) *
 		if len(vis) == 0 {
 			continue
 		}
-		gsNode := nSat + gi
+		gsNode := nSat + gi //hypatia:handle(node) GS node ids follow the satellites
 		if t.Policy == GSLNearestOnly {
 			best, bestD := -1, math.Inf(1)
 			for _, si := range vis {
@@ -413,7 +419,7 @@ type IncrementalEngine struct {
 	// avoid, when non-nil, excludes the marked nodes from routing, exactly
 	// as Snapshot.WithoutNodes does. The routed graph is then a pruned copy
 	// of the snapshot graph, rebuilt in place each step.
-	avoid    []bool
+	avoid    []bool //hypatia:handle(node)
 	avoidAny bool
 	pruned   *graph.Graph
 
@@ -424,9 +430,9 @@ type IncrementalEngine struct {
 	// destination never yet computed; its first repair starts from the
 	// identity order, which degenerates to an ordinary Dijkstra (every
 	// improvement routes through the heap) and sorts itself on return.
-	dist  [][]float64
-	prev  [][]int32
-	order [][]int32
+	dist  [][]float64 //hypatia:handle(gs)
+	prev  [][]int32   //hypatia:handle(gs->node)
+	order [][]int32   //hypatia:handle(gs->node)
 }
 
 // NewIncrementalEngine builds an engine over topo drawing tables from pool
@@ -452,6 +458,8 @@ func NewIncrementalEngine(topo *Topology, pool *TablePool) *IncrementalEngine {
 // clear. Changing the avoid set mid-sequence needs no reseed: the next
 // Step re-solves every requested tree on the newly pruned graph, reusing
 // the carried settle orders (which the switch barely perturbs).
+//
+//hypatia:handle(nodes: ->node)
 func (e *IncrementalEngine) SetAvoid(nodes ...int) {
 	e.avoidAny = len(nodes) > 0
 	if !e.avoidAny {
@@ -472,13 +480,14 @@ func (e *IncrementalEngine) SetAvoid(nodes ...int) {
 // the arena-reusing equivalent of Snapshot.WithoutNodes.
 //
 //hypatia:pure
+//hypatia:handle(avoid: node)
 func pruneInto(src *graph.Graph, avoid []bool, dst *graph.Graph) *graph.Graph {
 	if dst == nil {
 		dst = graph.New(src.N())
 	} else {
 		dst.Reset(src.N())
 	}
-	for v := 0; v < src.N(); v++ {
+	for v := 0; v < src.N(); v++ { //hypatia:handle(node) edge filter walks nodes in id order
 		if avoid[v] {
 			continue
 		}
@@ -497,6 +506,7 @@ func pruneInto(src *graph.Graph, avoid []bool, dst *graph.Graph) *graph.Graph {
 // owns it and must Release it.
 //
 //hypatia:pure
+//hypatia:handle(active: ->gs)
 func (e *IncrementalEngine) Step(tsec float64, active []int) *ForwardingTable {
 	t := e.topo
 	n := t.NumNodes()
@@ -522,7 +532,7 @@ func (e *IncrementalEngine) Step(tsec float64, active []int) *ForwardingTable {
 		ft.SetDestination(gs, e.prev[gs])
 	}
 	if active == nil {
-		for gs := 0; gs < t.NumGS(); gs++ {
+		for gs := 0; gs < t.NumGS(); gs++ { //hypatia:handle(gs) full sweep walks destinations in index order
 			apply(gs)
 		}
 	} else {

@@ -13,8 +13,8 @@ import (
 // segment and is opaque to the network.
 type Packet struct {
 	ID     uint64
-	SrcGS  int    // source ground-station index
-	DstGS  int    // destination ground-station index
+	SrcGS  int    //hypatia:handle(gs) source ground-station index
+	DstGS  int    //hypatia:handle(gs) destination ground-station index
 	FlowID uint32 // demultiplexing key at the destination node
 	Size   int    // bytes on the wire
 	Hops   int    // hops traversed so far
@@ -150,7 +150,7 @@ type TransmitInfo struct {
 //hypatia:confined
 type netState struct {
 	ft        *routing.ForwardingTable
-	pos       []geom.Vec3
+	pos       []geom.Vec3 //hypatia:handle(node)
 	posBucket Time
 
 	delivered uint64
@@ -164,7 +164,7 @@ type netState struct {
 	// upcoming install events; freed returns displaced clones for reuse.
 	journaling    bool
 	installs      int
-	outbox        [][]handoff
+	outbox        [][]handoff //hypatia:handle(shard)
 	journal       []journalRec
 	pendingTables []*routing.ForwardingTable
 	freed         []*routing.ForwardingTable
@@ -175,7 +175,7 @@ type netState struct {
 // does not reroute already queued packets, matching loss-free handoff).
 type queued struct {
 	pkt    *Packet
-	target int32
+	target int32 //hypatia:handle(node)
 }
 
 // device is a transmitting interface with a fixed-capacity drop-tail FIFO,
@@ -186,18 +186,21 @@ type queued struct {
 //
 //hypatia:confined
 type device struct {
-	node    int32
+	node    int32 //hypatia:handle(node)
 	rateBps float64
 	// fixedPeer is the ISL peer node id, or -1 for the GSL device (the
 	// target then travels with each queued packet).
-	fixedPeer int32
-	head, n   int32
-	busy      bool
+	fixedPeer int32 //hypatia:handle(node)
+	// head is the ring read position; advancing it retires the slot it
+	// addressed, so the write invalidates outstanding ring-slot handles.
+	head int32 //hypatia:epoch(ring-slot)
+	n    int32
+	busy bool
 
 	// The in-flight packet, popped from the ring when serialization starts
 	// and resolved when the evTransmitDone event for this device fires.
 	inflight       *Packet
-	inflightTarget int32
+	inflightTarget int32 //hypatia:handle(node)
 	inflightStart  Time
 
 	// Statistics.
@@ -221,25 +224,25 @@ type Network struct {
 
 	cfg Config
 
-	devs    []device
-	rings   []queued             // len(devs) * cfg.QueuePackets, ring i at [i*Q, (i+1)*Q)
-	gslDev  []int32              // node -> its GSL device handle
-	islIdx  []int32              // CSR offsets into islPeer/islDev, len NumNodes+1
-	islPeer []int32              // ISL neighbor node ids, ascending per node
-	islDev  []int32              // device handle per ISL neighbor
-	flows   []map[uint32]Handler // per node; non-nil only on ground stations
-	pktSeq  []uint32             // per-node packet ID counters
+	devs    []device             //hypatia:handle(device)
+	rings   []queued             //hypatia:handle(ring-slot) len(devs) * cfg.QueuePackets, ring i at [i*Q, (i+1)*Q)
+	gslDev  []int32              //hypatia:handle(node->device) node -> its GSL device handle
+	islIdx  []int32              //hypatia:handle(node->isl-slot) CSR offsets into islPeer/islDev, len NumNodes+1
+	islPeer []int32              //hypatia:handle(isl-slot->node) ISL neighbor node ids, ascending per node
+	islDev  []int32              //hypatia:handle(isl-slot->device) device handle per ISL neighbor
+	flows   []map[uint32]Handler //hypatia:handle(node) per node; non-nil only on ground stations
+	pktSeq  []uint32             //hypatia:handle(node) per-node packet ID counters
 
 	// Sharded-run routing: nil outside RunSharded. shardOf maps node ->
 	// shard index; sims holds the shard engines (sharded.go).
-	shardOf []int32
-	sims    []*Simulator
+	shardOf []int32      //hypatia:handle(node->shard)
+	sims    []*Simulator //hypatia:handle(shard)
 
 	// Colocation constraints for sharding: a union-find over ground-station
 	// indices. Flows that share state across two stations (every transport
 	// here) keep their endpoints in one shard so transport callbacks stay
 	// single-engine; RegisterFlow unions automatically.
-	coloc  []int32
+	coloc  []int32 //hypatia:handle(gs->gs)
 	flowGS map[uint32]int32
 
 	onTransmit func(TransmitInfo)
@@ -316,7 +319,7 @@ func NewNetwork(s *Simulator, topo *routing.Topology, cfg Config) (*Network, err
 	n.islIdx = make([]int32, numNodes+1)
 	n.flows = make([]map[uint32]Handler, numNodes)
 	n.pktSeq = make([]uint32, numNodes)
-	for i := 0; i < numNodes; i++ {
+	for i := 0; i < numNodes; i++ { //hypatia:handle(node) construction walks nodes in id order
 		n.gslDev[i] = int32(len(n.devs))
 		n.devs = append(n.devs, device{node: int32(i), fixedPeer: -1, rateBps: rateFor(i, -1, cfg.GSLRateBps)})
 		for _, p := range adj[i] {
@@ -338,6 +341,8 @@ func (n *Network) Config() Config { return n.cfg }
 
 // simFor returns the engine that owns a node's events: the root engine, or
 // the node's shard engine during a sharded run.
+//
+//hypatia:handle(node: node)
 func (n *Network) simFor(node int32) *Simulator {
 	if n.shardOf == nil {
 		return n.Sim
@@ -362,6 +367,8 @@ func (n *Network) SetDeliverHook(fn func(at Time, gs int, pkt *Packet)) { n.onDe
 
 // drop counts a drop and notifies the hook (directly, or via the shard
 // journal for post-run replay in canonical order).
+//
+//hypatia:handle(node: node)
 func (n *Network) drop(s *Simulator, node int32, pkt *Packet, reason DropReason) {
 	s.st.drops[reason]++
 	if s.st.journaling {
@@ -476,6 +483,8 @@ func (n *Network) TotalDrops() uint64 {
 
 // positionsAt returns the engine's cached node positions for the quantized
 // instant containing t.
+//
+//hypatia:handle(return: node)
 func (n *Network) positionsAt(s *Simulator, t Time) []geom.Vec3 {
 	bucket := t / n.cfg.PosQuantum
 	if bucket != s.st.posBucket || s.st.pos == nil {
@@ -487,12 +496,16 @@ func (n *Network) positionsAt(s *Simulator, t Time) []geom.Vec3 {
 
 // propagationDelay returns the current one-way propagation delay between
 // two nodes at time t.
+//
+//hypatia:handle(a: node, b: node)
 func (n *Network) propagationDelay(s *Simulator, a, b int32, t Time) Time {
 	pos := n.positionsAt(s, t)
 	return Seconds(pos[a].Distance(pos[b]) / geom.SpeedOfLight)
 }
 
 // forward routes a packet held by node toward its destination GS.
+//
+//hypatia:handle(node: node)
 func (n *Network) forward(s *Simulator, node int32, pkt *Packet) {
 	if s.st.ft == nil {
 		panic("sim: no forwarding state installed")
@@ -518,6 +531,8 @@ func (n *Network) forward(s *Simulator, node int32, pkt *Packet) {
 
 // enqueue appends the packet to the device's drop-tail queue and kicks the
 // transmitter if idle.
+//
+//hypatia:handle(di: device, target: node)
 func (n *Network) enqueue(s *Simulator, di int32, pkt *Packet, target int32) {
 	d := &n.devs[di]
 	q := int32(n.cfg.QueuePackets)
@@ -525,7 +540,8 @@ func (n *Network) enqueue(s *Simulator, di int32, pkt *Packet, target int32) {
 		n.drop(s, d.node, pkt, DropQueue)
 		return
 	}
-	n.rings[di*q+(d.head+d.n)%q] = queued{pkt: pkt, target: target}
+	tail := di*q + (d.head+d.n)%q //hypatia:handle(ring-slot) tail of device di's ring
+	n.rings[tail] = queued{pkt: pkt, target: target}
 	d.n++
 	if check.Enabled {
 		check.Assert(d.n >= 1 && d.n <= q,
@@ -541,14 +557,16 @@ func (n *Network) enqueue(s *Simulator, di int32, pkt *Packet, target int32) {
 
 // transmitStart pops the head-of-line packet at serialization start and
 // schedules the device's evTransmitDone for when the last bit is on the
-// wire.
+// wire. The head advance retires the slot, so both ring accesses precede it.
+//
+//hypatia:handle(di: device)
 func (n *Network) transmitStart(s *Simulator, di int32) {
 	d := &n.devs[di]
 	if check.Enabled {
 		check.Assert(d.n > 0, "device %d transmit with empty queue", d.node)
 	}
 	q := int32(n.cfg.QueuePackets)
-	slot := di*q + d.head
+	slot := di*q + d.head //hypatia:handle(ring-slot) head of device di's ring
 	qd := n.rings[slot]
 	n.rings[slot] = queued{}
 	d.head = (d.head + 1) % q
@@ -570,6 +588,8 @@ func (n *Network) transmitStart(s *Simulator, di int32) {
 // transmitDone is the evTransmitDone dispatch: emit the transmission, apply
 // link loss, hand the packet toward its target (possibly across shards),
 // and chain the next serialization.
+//
+//hypatia:handle(di: device)
 func (n *Network) transmitDone(s *Simulator, di int32) {
 	d := &n.devs[di]
 	pkt, target, start := d.inflight, d.inflightTarget, d.inflightStart
@@ -601,6 +621,8 @@ func (n *Network) transmitDone(s *Simulator, di int32) {
 
 // deliverTo schedules a packet's arrival at its target node: locally when
 // the target is on this engine, as a cross-shard handoff otherwise.
+//
+//hypatia:handle(target: node)
 func (n *Network) deliverTo(s *Simulator, target int32, at Time, pkt *Packet) {
 	if n.shardOf != nil {
 		if k := n.shardOf[target]; k != s.shard {
@@ -617,6 +639,8 @@ func (n *Network) deliverTo(s *Simulator, target int32, at Time, pkt *Packet) {
 
 // receive is the evReceive dispatch: packet arrival at a node — local
 // delivery at the destination ground station, forwarding everywhere else.
+//
+//hypatia:handle(node: node)
 func (n *Network) receive(s *Simulator, node int32, pkt *Packet) {
 	pkt.Hops++
 	if n.Topo.IsGS(int(node)) && n.Topo.GSIndex(int(node)) == pkt.DstGS {

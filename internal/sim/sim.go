@@ -67,7 +67,11 @@ func (t Time) String() string {
 
 // evKind tags the payload of an event record. The tag participates in the
 // canonical event order (install events sort before everything else at the
-// same instant), so the values here are load-bearing.
+// same instant), so the values here are load-bearing. Every switch over the
+// tag must cover all kinds (or carry a default): a new kind that silently
+// fell through dispatch would desynchronize the serial and sharded engines.
+//
+//hypatia:exhaustive
 type evKind uint8
 
 const (
@@ -97,7 +101,7 @@ type event struct {
 	at    Time
 	seq   uint64
 	key   uint64
-	owner int32
+	owner int32 //hypatia:handle(node)
 	kind  evKind
 	pkt   *Packet
 	fn    func()
@@ -201,7 +205,7 @@ type Simulator struct {
 	net       *Network
 	st        netState
 	windowEnd Time
-	shard     int32
+	shard     int32 //hypatia:handle(shard)
 	migrated  bool
 	cur       journalKey
 	curSub    uint32

@@ -54,6 +54,20 @@ if ! grep -q 'escape path:' <<<"$confjson"; then
     exit 1
 fi
 
+echo "== hypatialint self-check (handlesafety invalidation paths) =="
+# The seeded handle bugs in the handles fixture must fail the lint with the
+# full acquire → invalidate → use path rendered, in text and -json alike.
+handtext=$(./bin/hypatialint ./cmd/hypatialint/testdata/src/internal/sim/handles 2>/dev/null || true)
+if ! grep -q 'handlesafety.*→ invalidated by.*→ used here' <<<"$handtext"; then
+    echo "no handlesafety finding with an acquire → invalidate → use path in text output" >&2
+    exit 1
+fi
+handjson=$(./bin/hypatialint -json ./cmd/hypatialint/testdata/src/internal/sim/handles 2>/dev/null || true)
+if ! grep -q '→ invalidated by' <<<"$handjson"; then
+    echo "no handlesafety finding with its invalidation path in -json output" >&2
+    exit 1
+fi
+
 echo "== incremental oracle exercised (comparison count must be nonzero) =="
 # The differential layer is only as good as the oracle actually running:
 # these tests fail unless the hypatia_checks oracle re-derived and compared
