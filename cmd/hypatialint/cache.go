@@ -41,7 +41,9 @@ func hashf(h io.Writer, format string, args ...any) {
 // Schema 2: confinement check + per-package confinement facts.
 // Schema 3: handlesafety check (handle domains, epochs, exhaustiveness),
 // per-package handle facts, and the check-name tiebreak in finding order.
-const cacheSchema = 3
+// Schema 4: allocsafety check (//hypatia:noalloc contract, allocation
+// lattice) and per-package allocation classes.
+const cacheSchema = 4
 
 // pkgMeta is the cheap, imports-only view of one package directory used
 // for cache keying and load scheduling — no type-checking involved.
@@ -209,6 +211,9 @@ type cacheEntry struct {
 	// Handles records the //hypatia:handle, //hypatia:epoch, and
 	// //hypatia:exhaustive annotations the package declares.
 	Handles map[string]string `json:"handles,omitempty"`
+	// Allocs records the computed allocation class of each declared
+	// function that is not proven allocation-free (absence means NoAlloc).
+	Allocs map[string]string `json:"allocs,omitempty"`
 }
 
 // entryFile maps an import path to its entry file name.
@@ -245,11 +250,11 @@ func readCacheEntry(cacheDir, path, key, root string) ([]Finding, bool) {
 
 // writeCacheEntry persists one package's findings (already in their final
 // sorted order) and effect summaries, atomically via temp file + rename.
-func writeCacheEntry(cacheDir, path, key, root string, findings []Finding, effects map[string][]string, confinement, handles map[string]string) error {
+func writeCacheEntry(cacheDir, path, key, root string, findings []Finding, effects map[string][]string, confinement, handles, allocs map[string]string) error {
 	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
 		return err
 	}
-	e := cacheEntry{Schema: cacheSchema, Key: key, Package: path, Effects: effects, Confinement: confinement, Handles: handles}
+	e := cacheEntry{Schema: cacheSchema, Key: key, Package: path, Effects: effects, Confinement: confinement, Handles: handles, Allocs: allocs}
 	for _, f := range findings {
 		rel, err := filepath.Rel(root, f.Pos.Filename)
 		if err != nil {

@@ -38,10 +38,10 @@ import (
 // checkPurityPkgs runs the purity check over the lint targets, using effect
 // summaries computed over every loaded package. It returns the analysis so
 // the driver can persist per-package effect facts.
-func checkPurityPkgs(targets, all []*pkg, cg *callGraph, cfg config, conf *confIndex, hx *handleIndex, rep *reporter) *effectAnalysis {
+func checkPurityPkgs(targets, all []*pkg, cg *callGraph, cfg config, conf *confIndex, hx *handleIndex, ax *allocAnalysis, rep *reporter) *effectAnalysis {
 	an := analyzeEffects(all, cg, cfg.module)
 	for _, p := range targets {
-		pc := &purityChecker{an: an, p: p, conf: conf, handles: hx, rep: rep}
+		pc := &purityChecker{an: an, p: p, conf: conf, handles: hx, allocs: ax, rep: rep}
 		pc.checkDirectiveComments()
 		pc.checkAnnotated()
 		pc.checkImplementers()
@@ -57,6 +57,7 @@ type purityChecker struct {
 	p       *pkg
 	conf    *confIndex
 	handles *handleIndex
+	allocs  *allocAnalysis
 	rep     *reporter
 }
 
@@ -105,9 +106,19 @@ func (pc *purityChecker) checkDirectiveComments() {
 						pc.rep.add(c.Pos(), checkDirective,
 							"//hypatia:exhaustive has no effect here; it belongs in the doc comment of a defined tag type")
 					}
+				case "noalloc":
+					if !pc.allocs.honored[c.Pos()] {
+						pc.rep.add(c.Pos(), checkDirective,
+							"//hypatia:noalloc has no effect here; it belongs in the doc comment of a function, a named function type, or an interface")
+					}
+				case "allocs":
+					if !pc.allocs.honored[c.Pos()] {
+						pc.rep.add(c.Pos(), checkDirective,
+							"//hypatia:allocs(amortized) downgrades no allocation site here; it must trail (or sit immediately above) an allocation inside a function body, and amortized is the only supported class")
+					}
 				default:
 					pc.rep.add(c.Pos(), checkDirective,
-						fmt.Sprintf("unknown //hypatia: directive %q (supported: //hypatia:pure, //hypatia:confined, //hypatia:transfer, //hypatia:handle, //hypatia:epoch, //hypatia:exhaustive)", "hypatia:"+verb))
+						fmt.Sprintf("unknown //hypatia: directive %q (supported: //hypatia:pure, //hypatia:confined, //hypatia:transfer, //hypatia:handle, //hypatia:epoch, //hypatia:exhaustive, //hypatia:noalloc, //hypatia:allocs)", "hypatia:"+verb))
 				}
 			}
 		}

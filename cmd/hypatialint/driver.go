@@ -93,7 +93,7 @@ func lintDriver(dir string, patterns []string, cfg config, cacheDir string, useC
 						own = append(own, f)
 					}
 				}
-				if err := writeCacheEntry(cacheDir, p.path, keys[p.path], l.root, own, an.serializableEffects(p), an.conf.serializable(p), an.handles.serializable(p)); err != nil {
+				if err := writeCacheEntry(cacheDir, p.path, keys[p.path], l.root, own, an.serializableEffects(p), an.conf.serializable(p), an.handles.serializable(p), an.allocs.serializableAllocs(p)); err != nil {
 					fmt.Fprintf(os.Stderr, "hypatialint: cache write for %s: %v\n", p.path, err)
 				}
 			}

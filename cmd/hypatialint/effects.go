@@ -169,6 +169,9 @@ type effectAnalysis struct {
 	// handles is the handle/epoch annotation index, attached by lintPackages
 	// for the same reason.
 	handles *handleIndex
+	// allocs is the allocation-effect analysis, attached by lintPackages so
+	// the driver can persist per-package allocation classes.
+	allocs *allocAnalysis
 }
 
 // pureDirective is the annotation marking a function (or a named function

@@ -23,6 +23,7 @@ const (
 	checkPurity         = "purity"         // //hypatia:pure contract violations and unannotated pipeline callees
 	checkConfinement    = "confinement"    // //hypatia:confined values reachable from more than one goroutine
 	checkHandleSafety   = "handlesafety"   // wrong-domain or stale handles indexing annotated arrays; non-exhaustive tag switches
+	checkAllocSafety    = "allocsafety"    // //hypatia:noalloc functions allocating on the steady-state path
 	checkDirective      = "directive"      // malformed //lint: or //hypatia: comments
 )
 
@@ -39,6 +40,7 @@ var checkDocs = [][2]string{
 	{checkPurity, "//hypatia:pure functions must be effect-free and call only annotated functions; pipeline goroutine bodies are held to the worker contract"},
 	{checkConfinement, "//hypatia:confined values must stay reachable from at most one goroutine; ownership transfers only over channels or //hypatia:transfer calls"},
 	{checkHandleSafety, "indexes into //hypatia:handle arrays must carry the matching domain and predate no //hypatia:epoch invalidation; switches over //hypatia:exhaustive tags must cover every constant or have a default"},
+	{checkAllocSafety, "//hypatia:noalloc functions must not allocate on the steady-state path; caller-owned arena growth and //hypatia:allocs(amortized) sites are the only allowances"},
 	{checkDirective, "//lint:ignore directives must name a check and give a reason; //hypatia: comments must be valid and take effect"},
 }
 
@@ -110,12 +112,14 @@ func (r *reporter) sorted() []Finding {
 	return r.findings
 }
 
-// sortFindings orders findings by file/line/column/check, stably. The
-// driver relies on the stability: cached entries hold each package's
+// sortFindings orders findings by file/line/column/check/message, stably.
+// The driver relies on the stability: cached entries hold each package's
 // findings in their cold-run order, so re-sorting the assembled mix of
 // cached and fresh findings reproduces the cold output byte for byte. The
 // check-name tiebreak keeps co-located findings from different families in
-// a fixed order regardless of which family ran first.
+// a fixed order regardless of which family ran first, and the message
+// tiebreak makes the order a pure function of the findings' content even
+// when one check reports twice at the same position.
 func sortFindings(findings []Finding) {
 	sort.SliceStable(findings, func(i, j int) bool {
 		a, b := findings[i].Pos, findings[j].Pos
@@ -128,7 +132,10 @@ func sortFindings(findings []Finding) {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return findings[i].Check < findings[j].Check
+		if findings[i].Check != findings[j].Check {
+			return findings[i].Check < findings[j].Check
+		}
+		return findings[i].Msg < findings[j].Msg
 	})
 }
 
@@ -235,9 +242,15 @@ func lintPackages(targets, all []*pkg, cg *callGraph, cfg config, rep *reporter)
 	checkHandleSafetyPkgs(targets, all, cfg, hx, rep)
 	conf := collectConfinementDirectives(all)
 	checkLockSafetyPkgs(targets, cg, cfg, conf, rep)
-	an := checkPurityPkgs(targets, all, cg, cfg, conf, hx, rep)
+	// The allocation analysis runs before the purity pass so its directive
+	// index is complete when checkDirectiveComments validates //hypatia:
+	// comments.
+	ax := analyzeAllocs(all, cg, cfg.module)
+	an := checkPurityPkgs(targets, all, cg, cfg, conf, hx, ax, rep)
 	an.conf = conf
 	an.handles = hx
+	an.allocs = ax
+	checkAllocSafetyPkgs(targets, ax, rep)
 	checkConfinementPkgs(targets, all, cg, an, conf, cfg, rep)
 	rep.reportStale()
 	return an

@@ -108,7 +108,8 @@ func TestFixtures(t *testing.T) {
 	for _, name := range []string{
 		checkNondeterminism, checkTimeUnits, checkDroppedError, checkCopyLock,
 		checkLifecycle, checkUnitSafety, checkLockSafety, checkStaleIgnore,
-		checkPurity, checkConfinement, checkHandleSafety, checkDirective,
+		checkPurity, checkConfinement, checkHandleSafety, checkAllocSafety,
+		checkDirective,
 	} {
 		if !families[name] {
 			t.Errorf("check family %q produced no findings on its fixtures", name)
@@ -246,6 +247,64 @@ func TestHandlesFixtureFailsAlone(t *testing.T) {
 	}
 	if !jsonPathed {
 		t.Error("-json output carries no handlesafety finding with its invalidation path")
+	}
+}
+
+// TestAllocFixtureFailsAlone pins the acceptance criterion that each
+// seeded allocsafety violation — escaping literal, fresh append, escaping
+// closure, fmt boxing, a make buried two calls deep, and an allocating
+// implementer of a //hypatia:noalloc interface — fails the lint when the
+// fixture runs by itself, with the full allocation-origin call chain
+// present in both the text rendering and the -json output, while the
+// amortized arena, annotated warm-up, pool-reuse, panic-path,
+// waived-setup-call, and blessed-interface negatives stay clean.
+func TestAllocFixtureFailsAlone(t *testing.T) {
+	if code := run([]string{"./testdata/src/allocsafety"}); code != 1 {
+		t.Fatalf("run on allocsafety fixture = %d, want 1", code)
+	}
+	findings, err := lint(".", []string{"./testdata/src/allocsafety"}, fixtureCfg)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	var alloc int
+	var chained bool
+	for _, f := range findings {
+		if f.Check != checkAllocSafety {
+			continue
+		}
+		alloc++
+		if strings.Contains(f.Msg, "make allocates at fixture.go:") &&
+			strings.Contains(f.Msg, "call chain: allocsafety.entry → allocsafety.helper → allocsafety.mid") {
+			chained = true
+		}
+		for _, clean := range []string{"push", "warmup", "get", "put", "checked", "setup", "total", "constSource.Sample"} {
+			if strings.Contains(f.Msg, "allocsafety."+clean+" ") {
+				t.Errorf("negative case %s flagged: %v", clean, f)
+			}
+		}
+	}
+	if alloc != 6 {
+		t.Errorf("allocsafety findings = %d, want the fixture's six seeded violations; findings:\n%v", alloc, findings)
+	}
+	if !chained {
+		t.Errorf("no finding renders the full allocation-origin call chain; findings:\n%v", findings)
+	}
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, findings); err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+	var decoded []jsonFinding
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("decode -json output: %v", err)
+	}
+	var jsonChained bool
+	for _, d := range decoded {
+		if d.Check == checkAllocSafety && strings.Contains(d.Message, "call chain: allocsafety.entry →") {
+			jsonChained = true
+		}
+	}
+	if !jsonChained {
+		t.Error("-json output carries no allocsafety finding with its origin call chain")
 	}
 }
 
@@ -489,6 +548,14 @@ func handoff(a *scratchArena) *scratchArena { return a }
 type scratchRing struct {
 	owner int //hypatia:handle(node)
 }
+
+// reuse is proven allocation-free, so it must be absent from the
+// persisted allocation facts; leaky must be recorded as allocating.
+//
+//hypatia:noalloc
+func reuse(buf []int) []int { return buf[:0] }
+
+func leaky() []byte { return make([]byte, 8) }
 `
 	if err := os.WriteFile(srcFile, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
@@ -526,6 +593,12 @@ type scratchRing struct {
 	}
 	if !handlePersisted {
 		t.Errorf("cache entry handle facts = %v, want the owner field annotation persisted", entry.Handles)
+	}
+	if entry.Allocs["scratch-cache.leaky"] != "allocates" {
+		t.Errorf("cache entry allocation facts = %v, want leaky recorded as allocates", entry.Allocs)
+	}
+	if _, recorded := entry.Allocs["scratch-cache.reuse"]; recorded {
+		t.Errorf("cache entry allocation facts = %v, want the proven-noalloc reuse omitted", entry.Allocs)
 	}
 
 	const marker = "TAMPERED-BY-TEST"
@@ -566,6 +639,132 @@ func drop(a, b float64) bool {
 	}
 	if len(fresh) != 1 || fresh[0].Check != checkTimeUnits || fresh[0].Msg == marker {
 		t.Fatalf("post-edit run: got %v, want one fresh %s finding", fresh, checkTimeUnits)
+	}
+}
+
+// TestCacheStaleSchemaRecomputes pins the schema-eviction contract: an
+// entry written by an older analyzer (lower schema number) must be treated
+// as a miss and recomputed, never replayed — even when its key would still
+// match.
+func TestCacheStaleSchemaRecomputes(t *testing.T) {
+	scratch := filepath.Join("testdata", "scratch-schema")
+	if err := os.MkdirAll(scratch, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(scratch)
+	src := `package scratch
+
+func mightFail(int) error { return nil }
+
+func drop() {
+	mightFail(1)
+}
+`
+	if err := os.WriteFile(filepath.Join(scratch, "scratch.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cacheDir := t.TempDir()
+	cold, err := lintDriver(".", []string{"./" + scratch}, fixtureCfg, cacheDir, true)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if len(cold) != 1 || cold[0].Check != checkDroppedError {
+		t.Fatalf("cold run: got %v, want one %s finding", cold, checkDroppedError)
+	}
+	entries, err := filepath.Glob(filepath.Join(cacheDir, "*.json"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("cache entries: %v (err %v), want exactly one", entries, err)
+	}
+	data, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entry cacheEntry
+	if err := json.Unmarshal(data, &entry); err != nil {
+		t.Fatal(err)
+	}
+	if entry.Schema != cacheSchema {
+		t.Fatalf("cold entry schema = %d, want %d", entry.Schema, cacheSchema)
+	}
+	// Regress the entry to the previous schema and plant a marker: if the
+	// warm run replays it, the marker surfaces; if it correctly evicts, the
+	// recomputed finding matches the cold one and the entry is rewritten at
+	// the current schema.
+	const marker = "STALE-SCHEMA-REPLAYED"
+	entry.Schema = cacheSchema - 1
+	entry.Findings[0].Message = marker
+	stale, err := json.Marshal(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entries[0], stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := lintDriver(".", []string{"./" + scratch}, fixtureCfg, cacheDir, true)
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if len(warm) != 1 || warm[0].Msg != cold[0].Msg {
+		t.Fatalf("warm run after schema regression: got %v, want the recomputed finding %q", warm, cold[0].Msg)
+	}
+	data, err = os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &entry); err != nil {
+		t.Fatal(err)
+	}
+	if entry.Schema != cacheSchema || entry.Findings[0].Message != cold[0].Msg {
+		t.Errorf("stale entry not rewritten at schema %d: %+v", cacheSchema, entry)
+	}
+}
+
+// TestCacheColdRunsByteIdentical pins the determinism the warm-equals-cold
+// contract rests on: two cold runs over the same tree — allocation facts
+// included — must serialize byte-identical cache entries.
+func TestCacheColdRunsByteIdentical(t *testing.T) {
+	read := func(dir string) map[string][]byte {
+		t.Helper()
+		entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+		if err != nil || len(entries) == 0 {
+			t.Fatalf("cache entries: %v (err %v)", entries, err)
+		}
+		out := map[string][]byte{}
+		for _, e := range entries {
+			data, err := os.ReadFile(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[filepath.Base(e)] = data
+		}
+		return out
+	}
+	pattern := "./testdata/src/allocsafety"
+	dirA, dirB := t.TempDir(), t.TempDir()
+	if _, err := lintDriver(".", []string{pattern}, fixtureCfg, dirA, true); err != nil {
+		t.Fatalf("first cold run: %v", err)
+	}
+	if _, err := lintDriver(".", []string{pattern}, fixtureCfg, dirB, true); err != nil {
+		t.Fatalf("second cold run: %v", err)
+	}
+	a, b := read(dirA), read(dirB)
+	if len(a) != len(b) {
+		t.Fatalf("entry counts differ: %d vs %d", len(a), len(b))
+	}
+	for name, data := range a {
+		if !bytes.Equal(data, b[name]) {
+			t.Errorf("entry %s differs between cold runs:\n%s\nvs\n%s", name, data, b[name])
+		}
+		var entry cacheEntry
+		if err := json.Unmarshal(data, &entry); err != nil {
+			t.Fatal(err)
+		}
+		if entry.Allocs["allocsafety.sliceLit"] != "allocates" {
+			t.Errorf("entry %s allocation facts = %v, want sliceLit recorded as allocates", name, entry.Allocs)
+		}
+		if entry.Allocs["allocsafety.arena.push"] != "amortized-grow" {
+			t.Errorf("entry %s allocation facts = %v, want arena.push recorded as amortized-grow", name, entry.Allocs)
+		}
 	}
 }
 

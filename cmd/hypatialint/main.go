@@ -59,6 +59,16 @@
 //	                acquire → invalidate → use chain; switches over a
 //	                //hypatia:exhaustive tag type must cover every constant
 //	                or carry a default
+//	allocsafety     //hypatia:noalloc is a checked contract: a bottom-up
+//	                fixpoint over the call graph assigns every function an
+//	                allocation class — NoAlloc, AmortizedGrow (append into
+//	                caller-owned arenas, capacity-guarded make, sync.Pool
+//	                misses), or Allocates — and an annotated function whose
+//	                steady-state path allocates is a finding with the full
+//	                allocation-origin call chain; //hypatia:allocs(amortized)
+//	                downgrades a justified growth site, and a named function
+//	                type annotated //hypatia:noalloc blesses dynamic calls
+//	                through its values
 //	directive       //lint: and //hypatia: comments that are malformed,
 //	                name an unknown directive, or sit where they take no
 //	                effect

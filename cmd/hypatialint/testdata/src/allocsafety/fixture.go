@@ -1,0 +1,204 @@
+// Package allocfix seeds one positive and one negative case per
+// allocation source the allocsafety lattice classifies: escaping
+// composite literals, append past provable capacity vs. amortized arena
+// growth, closure capture inside a //hypatia:noalloc callee, interface
+// boxing through fmt, and the legal capacity-guarded pool-reuse idiom.
+package allocfix
+
+import "fmt"
+
+// sliceLit returns a fresh composite literal every call: the slice
+// escapes through the return value, so the contract cannot hold.
+//
+//hypatia:noalloc
+func sliceLit() []int { // want allocsafety
+	return []int{1, 2, 3}
+}
+
+// freshAppend grows a slice with no capacity provenance: every call may
+// allocate, and nothing amortizes it.
+//
+//hypatia:noalloc
+func freshAppend(n int) []int { // want allocsafety
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// arena is the caller-owned storage the amortized contract is about.
+type arena struct {
+	scratch []int
+}
+
+// push appends into receiver-owned storage: amortized growth, which the
+// noalloc contract allows. Negative case.
+//
+//hypatia:noalloc
+func (a *arena) push(v int) {
+	a.scratch = append(a.scratch, v)
+}
+
+// warmup grows a fresh slice, but the site is explicitly justified with
+// the escape hatch, so the contract holds. Negative case.
+//
+//hypatia:noalloc
+func warmup() []int {
+	var out []int
+	out = append(out, 1) //hypatia:allocs(amortized) one-shot warm-up growth, never on the per-instant path
+	return out
+}
+
+// forEach calls its argument dynamically; its own summary carries the
+// unknown-call allocation, which surfaces in annotated callers.
+func forEach(n int, f func(int)) {
+	for i := 0; i < n; i++ {
+		f(i)
+	}
+}
+
+// closureCapture hands a capturing literal to forEach: creating the
+// closure allocates inside a //hypatia:noalloc function.
+//
+//hypatia:noalloc
+func closureCapture(xs []int, sink *int) { // want allocsafety
+	visit := func(i int) { *sink += xs[i] }
+	forEach(len(xs), visit)
+}
+
+// boxed formats through fmt: the variadic ...any parameter boxes n and
+// Sprintf allocates the result.
+//
+//hypatia:noalloc
+func boxed(n int) string { // want allocsafety
+	return fmt.Sprintf("n=%d", n)
+}
+
+// entry hides its make two calls down; the finding at the annotated
+// entry point must carry the full origin call chain.
+//
+//hypatia:noalloc
+func entry(dst []float64) { // want allocsafety
+	helper(dst)
+}
+
+func helper(dst []float64) {
+	mid(dst)
+}
+
+func mid(dst []float64) {
+	tmp := make([]float64, len(dst))
+	copy(dst, tmp)
+}
+
+// table and pool mirror the routing TablePool reuse path: a nil-guarded
+// pool miss and a capacity-guarded grow are both amortized, so the
+// annotated reuse path is clean. Negative case.
+type table struct {
+	next []int
+}
+
+type pool struct {
+	free []*table
+}
+
+//hypatia:noalloc
+func (p *pool) get(n int) *table {
+	var t *table
+	if len(p.free) > 0 {
+		t = p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+	}
+	if t == nil {
+		t = &table{next: make([]int, n)}
+	}
+	if cap(t.next) < n {
+		t.next = make([]int, n)
+	}
+	t.next = t.next[:n]
+	return t
+}
+
+//hypatia:noalloc
+func (p *pool) put(t *table) {
+	p.free = append(p.free, t)
+}
+
+// checked validates its argument the way the hot paths do: the Sprintf
+// feeds a panic, so it lives on a failure path, not the steady state.
+// Negative case.
+//
+//hypatia:noalloc
+func checked(i, n int) int {
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("index %d out of range [0,%d)", i, n))
+	}
+	return i
+}
+
+// setup builds its table through a module-local constructor; the directive
+// on the call line vouches for the callee's inherited one-time allocation,
+// the way pipeline producers waive their engine construction. Negative
+// case.
+//
+//hypatia:noalloc
+func setup() *table {
+	t := newTable(8) //hypatia:allocs(amortized) one-time setup, off the steady-state path
+	return t
+}
+
+func newTable(n int) *table {
+	return &table{next: make([]int, n)}
+}
+
+// Feed carries the //hypatia:noalloc contract on the interface: calls
+// through it are trusted by the analysis, and module-local implementers
+// are held to the bar by their computed summaries, with no annotation of
+// their own.
+//
+//hypatia:noalloc
+type Feed interface {
+	Sample(i int) int
+}
+
+// total iterates through the blessed interface. Negative case.
+//
+//hypatia:noalloc
+func total(s Feed, n int) int {
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += s.Sample(i)
+	}
+	return sum
+}
+
+// constSource satisfies Feed without allocating: the implementer
+// obligation passes on its summary alone. Negative case.
+type constSource int
+
+func (c constSource) Sample(i int) int { return int(c) }
+
+// leakySource satisfies Feed but allocates per call; the implementer
+// obligation reports it even though the method is unannotated, because an
+// allocating implementation would silently break every annotated caller.
+type leakySource struct{ vals []*int }
+
+func (l *leakySource) Sample(i int) int { // want allocsafety
+	v := new(int)
+	*v = i
+	l.vals = append(l.vals, v)
+	return *v
+}
+
+// The directive belongs on functions, named function types, and
+// interfaces, not here.
+//
+//hypatia:noalloc the annotation cannot hold on a struct // want directive
+type misplacedTarget struct{}
+
+// stale directive: the next line allocates nothing to downgrade.
+func staleAmortized() int {
+	x := 1 + 2 //hypatia:allocs(amortized) nothing here allocates // want directive
+	return x
+}

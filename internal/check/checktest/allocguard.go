@@ -1,0 +1,44 @@
+// Package checktest provides test-only helpers that enforce the runtime
+// half of the //hypatia:noalloc contract. The static side (hypatialint's
+// allocsafety check) proves the annotated hot paths free of steady-state
+// allocation sites; the AllocGuard here pins the same property on the
+// running binary with testing.AllocsPerRun, so a regression that slips
+// past the analyzer's model (compiler escape-analysis changes, a stdlib
+// function quietly starting to allocate) still fails the test suite.
+//
+// This package is imported only from _test.go files: it imports the
+// testing package, which must never be linked into the simulator binaries
+// (internal/sim imports internal/check, so the guard cannot live in the
+// check package itself).
+package checktest
+
+import (
+	"testing"
+
+	"hypatia/internal/check"
+)
+
+// AllocGuard asserts that f performs at most budget heap allocations per
+// call in steady state. warmup calls run first so amortized paths (arena
+// growth, pool misses, capacity-guarded make) reach their steady state
+// before measurement — the same amortized/steady-state split the
+// allocsafety lattice draws.
+//
+// Under the hypatia_checks build the guard still exercises f once (so the
+// checked build's assertions and oracles run), but skips budget
+// enforcement: check.Assert boxes its variadic arguments and the
+// cross-checking oracles re-derive state from scratch by design, so
+// allocation budgets are a production-build contract.
+func AllocGuard(t *testing.T, name string, budget float64, warmup int, f func()) {
+	t.Helper()
+	for i := 0; i < warmup; i++ {
+		f()
+	}
+	if check.Enabled {
+		f()
+		t.Skipf("%s: allocation budgets are a production-build contract; the hypatia_checks build boxes assertion arguments and runs from-scratch oracles", name)
+	}
+	if got := testing.AllocsPerRun(100, f); got > budget {
+		t.Errorf("%s: %.1f allocs/op in steady state, budget %.1f", name, got, budget)
+	}
+}

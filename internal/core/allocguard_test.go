@@ -1,0 +1,35 @@
+package core
+
+import (
+	"testing"
+
+	"hypatia/internal/check/checktest"
+	"hypatia/internal/constellation"
+	"hypatia/internal/routing"
+)
+
+// The AllocGuard tests are the runtime half of the //hypatia:noalloc
+// contract on the precomputation engine's hot paths; see
+// internal/check/checktest.
+
+// TestAllocGuardShortestPathPooled pins the pipeline workers' per-instant
+// sweep: pooled table buffers plus caller-owned Dijkstra scratch make the
+// steady-state computation allocation-free once the release cycle returns
+// each table to the pool.
+func TestAllocGuardShortestPathPooled(t *testing.T) {
+	c, err := constellation.Generate(miniConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := routing.NewTopology(c, fourCities(t), routing.GSLFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := topo.Snapshot(0)
+	var pool routing.TablePool
+	var sc routing.StrategyScratch
+	active := []int{0, 1, 2, 3}
+	checktest.AllocGuard(t, "shortestPathPooled", 0, 1, func() {
+		shortestPathPooled(snap, active, &pool, &sc).Release()
+	})
+}

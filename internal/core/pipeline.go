@@ -116,9 +116,15 @@ func newPipeline(topo *routing.Topology, strategy Strategy, active []int, worker
 // walks the instants in order, repairing forwarding state across each step,
 // under the same token discipline (one token per in-flight instant, returned
 // by the consumer's pop), so the lookahead memory bound is unchanged.
+// The producer holds the machine-checked no-allocation contract for its
+// steady-state loop: the repair chain reuses the engine's carried arenas
+// end to end, so after the one-time engine construction (waived below as
+// amortized setup) each instant is produced without touching the heap.
+//
+//hypatia:noalloc
 func (p *pipeline) producer() {
 	defer p.wg.Done()
-	eng := routing.NewIncrementalEngine(p.topo, &p.pool)
+	eng := routing.NewIncrementalEngine(p.topo, &p.pool) //hypatia:allocs(amortized) one-time setup, amortized over the run's instants
 	for i := range p.times {
 		select {
 		case <-p.tokens:
@@ -190,6 +196,7 @@ func (p *pipeline) close() {
 // to Snapshot.ForwardingTable / PartialForwardingTable.
 //
 //hypatia:pure
+//hypatia:noalloc
 func shortestPathPooled(s *routing.Snapshot, active []int, pool *routing.TablePool, sc *routing.StrategyScratch) *routing.ForwardingTable {
 	ft := pool.Empty(s.T, s.Topo.NumNodes(), s.Topo.NumGS())
 	if active == nil {

@@ -1,0 +1,49 @@
+package graph
+
+import (
+	"testing"
+
+	"hypatia/internal/check/checktest"
+)
+
+// The AllocGuard tests are the runtime half of the //hypatia:noalloc
+// contract on this package's hot paths: hypatialint's allocsafety check
+// proves the annotated functions free of steady-state allocation sites,
+// and these guards pin the same property on the running binary with
+// testing.AllocsPerRun, so a regression the static model cannot see
+// (escape-analysis changes, stdlib drift) still fails the suite.
+
+// TestAllocGuardDijkstraScratch pins the relax loop plus the indexed-heap
+// workspace: with warmed dist/prev slabs and scratch, a full
+// single-source sweep must not allocate.
+func TestAllocGuardDijkstraScratch(t *testing.T) {
+	const n = 256
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n, float64(1+i%7))
+		g.AddEdge(i, (i+17)%n, float64(2+i%5))
+	}
+	var dist []float64
+	var prev []int32
+	var sc Scratch
+	src := 0
+	checktest.AllocGuard(t, "Graph.DijkstraScratch", 0, 1, func() {
+		dist, prev = g.DijkstraScratch(src, dist, prev, &sc)
+		src = (src + 1) % n
+	})
+}
+
+// TestAllocGuardResetAddEdge pins the graph-arena reuse path snapshots
+// rebuild through every instant: Reset keeps the adjacency slabs, so
+// re-adding the edge set allocates nothing once capacities are warm.
+func TestAllocGuardResetAddEdge(t *testing.T) {
+	const n = 128
+	g := New(n)
+	checktest.AllocGuard(t, "Graph.Reset+AddEdge", 0, 1, func() {
+		g.Reset(n)
+		for i := 0; i < n; i++ {
+			g.AddEdge(i, (i+1)%n, 1.5)
+			g.AddEdge(i, (i+31)%n, 2.5)
+		}
+	})
+}

@@ -50,6 +50,7 @@ type DiffScratch struct {
 // bitwise: the topology builders recompute identical geometry identically,
 // so an unchanged link produces an unchanged float.
 //
+//hypatia:noalloc
 //hypatia:pure
 func DiffInto(oldG, newG *Graph, out []EdgeChange, sc *DiffScratch) []EdgeChange {
 	if oldG.n != newG.n {
@@ -128,6 +129,7 @@ type RepairScratch struct {
 // sparse change list it touches only the changed edges, the subtrees they
 // detach, and the frontier the repair grows back over.
 //
+//hypatia:noalloc
 //hypatia:pure
 //hypatia:handle(src: node, dist: node, prev: node->node)
 func (g *Graph) RepairSSSP(src int, dist []float64, prev []int32, changes []EdgeChange, sc *RepairScratch) {
@@ -164,6 +166,7 @@ func (g *Graph) RepairSSSP(src int, dist []float64, prev []int32, changes []Edge
 // orderCmp is the settle-order comparator: by distance, then node id —
 // exactly Dijkstra's pop order.
 //
+//hypatia:noalloc
 //hypatia:pure
 //hypatia:handle(dist: node, a: node, b: node)
 func orderCmp(dist []float64, a, b int32) int {
@@ -183,6 +186,7 @@ func orderCmp(dist []float64, a, b int32) int {
 // lazy order refresh allocation-free and, unlike slices.SortFunc, inside
 // the machine-checked purity contract.
 //
+//hypatia:noalloc
 //hypatia:pure
 //hypatia:handle(order: ->node, dist: node)
 func sortByDist(order []int32, dist []float64) {
@@ -199,6 +203,7 @@ func sortByDist(order []int32, dist []float64) {
 // siftDownOrder restores the max-heap property under orderCmp for the
 // subtree of order[:n] rooted at root.
 //
+//hypatia:noalloc
 //hypatia:pure
 //hypatia:handle(order: ->node, dist: node)
 func siftDownOrder(order []int32, dist []float64, root, n int) {
@@ -221,6 +226,7 @@ func siftDownOrder(order []int32, dist []float64, root, n int) {
 // buildChildren fills sc.childOff/childBuf with a CSR child index of the
 // predecessor tree in prev.
 //
+//hypatia:noalloc
 //hypatia:pure
 //hypatia:handle(src: node, prev: node->node)
 func (g *Graph) buildChildren(src int, prev []int32, sc *RepairScratch) {
@@ -260,6 +266,7 @@ func (g *Graph) buildChildren(src int, prev []int32, sc *RepairScratch) {
 
 // children returns node v's child range in the CSR index.
 //
+//hypatia:noalloc
 //hypatia:pure
 //hypatia:handle(v: node)
 func (sc *RepairScratch) children(v int32) []int32 {
@@ -287,6 +294,7 @@ func (sc *RepairScratch) children(v int32) []int32 {
 // predecessors are re-canonicalized whenever a tie was observed. A stale
 // order costs time, never correctness.
 //
+//hypatia:noalloc
 //hypatia:pure
 //hypatia:handle(src: node, dist: node, prev: node->node, order: ->node)
 func (g *Graph) RepairSSSPDense(src int, dist []float64, prev []int32, order []int32, sc *RepairScratch) {
@@ -377,6 +385,7 @@ func (g *Graph) RepairSSSPDense(src int, dist []float64, prev []int32, order []i
 // seeds the heap from the changed edges and the detached frontier, and
 // settles — touching only the affected region.
 //
+//hypatia:noalloc
 //hypatia:pure
 //hypatia:handle(src: node, dist: node, prev: node->node)
 func (g *Graph) repairSparse(src int, dist []float64, prev []int32, changes []EdgeChange, sc *RepairScratch) {
@@ -388,7 +397,7 @@ func (g *Graph) repairSparse(src int, dist []float64, prev []int32, changes []Ed
 	sc.stampGen++
 	tg := sc.stampGen
 	sc.touchList = sc.touchList[:0]
-	var touch touchFn = func(v int32) {
+	var touch touchFn = func(v int32) { //hypatia:allocs(amortized) settle only invokes touch, so the literal never escapes and is stack-allocated
 		if sc.stampArr[v] != tg {
 			sc.stampArr[v] = tg
 			sc.touchList = append(sc.touchList, v)
@@ -475,12 +484,13 @@ func (g *Graph) repairSparse(src int, dist []float64, prev []int32, changes []Ed
 }
 
 // touchFn observes every node whose distance a repair stage writes. The
-// purity annotation is load-bearing: settle calls its touch argument
+// annotations are load-bearing: settle calls its touch argument
 // dynamically, and the analyzer admits that call inside //hypatia:pure
-// bodies only through a function type that carries the contract itself —
-// implementations may write through their captured scratch but nothing
-// global.
+// and //hypatia:noalloc bodies only through a function type that carries
+// the contract itself — implementations may write through (and grow)
+// their captured scratch but nothing global, and must not allocate.
 //
+//hypatia:noalloc
 //hypatia:pure
 type touchFn func(int32)
 
@@ -490,6 +500,7 @@ type touchFn func(int32)
 // its sweep order has become). touch, when non-nil, is invoked for every
 // node whose distance it writes.
 //
+//hypatia:noalloc
 //hypatia:pure
 //hypatia:handle(dist: node, prev: node->node, src: node)
 func (g *Graph) settle(dist []float64, prev []int32, src int, sc *RepairScratch, touch touchFn) int {
@@ -522,6 +533,7 @@ func (g *Graph) settle(dist []float64, prev []int32, src int, sc *RepairScratch,
 // dist[v] exactly — the first achiever in Dijkstra's deterministic pop
 // order.
 //
+//hypatia:noalloc
 //hypatia:pure
 //hypatia:handle(src: node, v: node, dist: node, prev: node->node)
 func (g *Graph) canonicalPrev(src int, v int32, dist []float64, prev []int32) {

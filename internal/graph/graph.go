@@ -53,6 +53,7 @@ func New(n int) *Graph {
 // similar shape (the forwarding-state engine does so every update instant)
 // then performs no allocations in steady state.
 //
+//hypatia:noalloc
 //hypatia:pure
 //hypatia:epoch(recv: csr-slot)
 func (g *Graph) Reset(n int) {
@@ -74,6 +75,7 @@ func (g *Graph) Reset(n int) {
 // was added since the last build. Only for single-owner use (the repair
 // paths): the rebuild mutates the receiver.
 //
+//hypatia:noalloc
 //hypatia:pure
 //hypatia:handle(return: node->csr-slot, csr-slot->node, csr-slot)
 func (g *Graph) csr() (off, to []int32, w []float64) {
@@ -110,11 +112,13 @@ func (g *Graph) csr() (off, to []int32, w []float64) {
 
 // N returns the number of nodes.
 //
+//hypatia:noalloc
 //hypatia:pure
 func (g *Graph) N() int { return g.n }
 
 // NumEdges returns the number of undirected edges.
 //
+//hypatia:noalloc
 //hypatia:pure
 func (g *Graph) NumEdges() int {
 	total := 0
@@ -127,6 +131,7 @@ func (g *Graph) NumEdges() int {
 // Neighbors returns the adjacency list of node v. The slice is owned by the
 // graph and must not be modified.
 //
+//hypatia:noalloc
 //hypatia:pure
 //hypatia:handle(v: node)
 func (g *Graph) Neighbors(v int) []Edge { return g.adj[v] }
@@ -135,6 +140,7 @@ func (g *Graph) Neighbors(v int) []Edge { return g.adj[v] }
 // It panics on out-of-range nodes, self-loops, or negative weights —
 // all of which indicate a topology-construction bug.
 //
+//hypatia:noalloc
 //hypatia:pure
 //hypatia:handle(a: node, b: node)
 //hypatia:epoch(recv: csr-slot)
@@ -167,6 +173,7 @@ type indexedHeap struct {
 // all -1 (every pushed node is eventually popped, and pop clears its pos
 // entry), so reuse needs no re-initialization sweep.
 //
+//hypatia:noalloc
 //hypatia:pure
 func (h *indexedHeap) reset(n int) {
 	if cap(h.pos) < n {
@@ -183,6 +190,7 @@ func (h *indexedHeap) reset(n int) {
 	h.key = h.key[:n]
 }
 
+//hypatia:noalloc
 //hypatia:pure
 //hypatia:handle(a: node, b: node)
 func (h *indexedHeap) less(a, b int32) bool {
@@ -193,6 +201,7 @@ func (h *indexedHeap) less(a, b int32) bool {
 	return a < b
 }
 
+//hypatia:noalloc
 //hypatia:pure
 func (h *indexedHeap) swap(i, j int) {
 	h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i]
@@ -200,6 +209,7 @@ func (h *indexedHeap) swap(i, j int) {
 	h.pos[h.nodes[j]] = int32(j)
 }
 
+//hypatia:noalloc
 //hypatia:pure
 func (h *indexedHeap) up(i int) {
 	for i > 0 {
@@ -212,6 +222,7 @@ func (h *indexedHeap) up(i int) {
 	}
 }
 
+//hypatia:noalloc
 //hypatia:pure
 func (h *indexedHeap) down(i int) {
 	for {
@@ -233,6 +244,7 @@ func (h *indexedHeap) down(i int) {
 
 // push inserts node v with key k, or decreases its key if already present.
 //
+//hypatia:noalloc
 //hypatia:pure
 //hypatia:handle(v: node)
 func (h *indexedHeap) push(v int32, k float64) {
@@ -252,6 +264,7 @@ func (h *indexedHeap) push(v int32, k float64) {
 
 // pop removes and returns the minimum node.
 //
+//hypatia:noalloc
 //hypatia:pure
 //hypatia:handle(return: node)
 func (h *indexedHeap) pop() int32 {
@@ -266,6 +279,7 @@ func (h *indexedHeap) pop() int32 {
 	return top
 }
 
+//hypatia:noalloc
 //hypatia:pure
 func (h *indexedHeap) empty() bool { return len(h.nodes) == 0 }
 
@@ -299,6 +313,7 @@ func (g *Graph) Dijkstra(src int, dist []float64, prev []int32) ([]float64, []in
 // are identical to Dijkstra for any scratch state: the workspace only
 // recycles allocations, never data.
 //
+//hypatia:noalloc
 //hypatia:pure
 //hypatia:handle(src: node, dist: node, prev: node->node, return: node, node->node)
 func (g *Graph) DijkstraScratch(src int, dist []float64, prev []int32, sc *Scratch) ([]float64, []int32) {

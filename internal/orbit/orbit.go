@@ -164,9 +164,13 @@ func propagateAt(e Elements) State {
 }
 
 // Propagator produces inertial satellite states as a function of time
-// (seconds since the constellation epoch).
+// (seconds since the constellation epoch). The //hypatia:noalloc contract
+// rides on the interface: the forwarding-state hot paths call PositionECI
+// once per satellite per instant, so every implementation must compute
+// states in registers and stack values only.
 //
 //hypatia:pure
+//hypatia:noalloc
 type Propagator interface {
 	// StateECI returns the inertial state at t seconds past epoch.
 	StateECI(t float64) State

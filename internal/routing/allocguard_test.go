@@ -1,0 +1,62 @@
+package routing
+
+import (
+	"testing"
+
+	"hypatia/internal/check/checktest"
+)
+
+// The AllocGuard tests are the runtime half of the //hypatia:noalloc
+// contract on this package's hot paths; see internal/check/checktest.
+
+// TestAllocGuardSnapshotInto pins the arena-reusing snapshot path: after a
+// warm cycle over the instants the guard revisits, position slabs, graph
+// edge slabs, and visibility scratch are all recycled, so building the
+// next instant's snapshot allocates nothing.
+func TestAllocGuardSnapshotInto(t *testing.T) {
+	topo := miniTopo(t, GSLFree)
+	var s *Snapshot
+	for i := 0; i < 50; i++ {
+		s = topo.SnapshotInto(float64(i), s)
+	}
+	i := 0
+	checktest.AllocGuard(t, "Topology.SnapshotInto", 0, 0, func() {
+		s = topo.SnapshotInto(float64(i%50), s)
+		i++
+	})
+}
+
+// TestAllocGuardPooledSweep pins the pooled forwarding-table path the
+// pipeline workers run: table buffers cycle through the pool, Dijkstra
+// scratch is caller-owned, and the release returns every arena, so the
+// steady-state sweep stays allocation-free.
+func TestAllocGuardPooledSweep(t *testing.T) {
+	topo := miniTopo(t, GSLFree)
+	snap := topo.Snapshot(0)
+	var pool TablePool
+	var sc StrategyScratch
+	checktest.AllocGuard(t, "TablePool sweep", 0, 1, func() {
+		ft := pool.Empty(snap.T, topo.NumNodes(), topo.NumGS())
+		for gs := 0; gs < topo.NumGS(); gs++ {
+			sc.Dist, sc.Prev = snap.FromGSScratch(gs, sc.Dist, sc.Prev, &sc.Dijkstra)
+			ft.SetDestination(gs, sc.Prev)
+		}
+		ft.Release()
+	})
+}
+
+// TestAllocGuardIncrementalStep pins the incremental engine's per-instant
+// repair. Step's class is amortized, not zero: as the constellation drifts
+// into visibility configurations the run has not seen, delta scratch and
+// repair arenas may still grow occasionally, so the budget allows a small
+// residue per step rather than none.
+func TestAllocGuardIncrementalStep(t *testing.T) {
+	topo := miniTopo(t, GSLFree)
+	eng := NewIncrementalEngine(topo, nil)
+	at := 0.0
+	step := func() {
+		eng.Step(at, nil).Release()
+		at += 0.1
+	}
+	checktest.AllocGuard(t, "IncrementalEngine.Step", 4, 20, step)
+}

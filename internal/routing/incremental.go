@@ -60,6 +60,11 @@ type DeltaState struct {
 	visLists  [][]int32   //hypatia:handle(gs->node)  per-GS ascending visible-satellite indices
 	visValid  bool        // cache primed and valid for forward stepping
 	lastT     float64
+
+	// visScratch is verifyVisibility's from-scratch scan buffer, held on
+	// the state so the hypatia_checks cross-check does not allocate per
+	// instant.
+	visScratch []int //hypatia:handle(->node)
 }
 
 // watchHorizon is how far ahead (seconds) a row scan looks when collecting
@@ -72,6 +77,7 @@ const watchHorizon = 2.0
 // Prev returns the snapshot preceding the one DeltaInto last returned, or
 // nil on the first instant. It stays valid until the next DeltaInto call.
 //
+//hypatia:noalloc
 //hypatia:pure
 func (d *DeltaState) Prev() *Snapshot {
 	if !d.prevOK {
@@ -82,6 +88,7 @@ func (d *DeltaState) Prev() *Snapshot {
 
 // reset rebinds the state to a topology, dropping all cached structure.
 //
+//hypatia:noalloc
 //hypatia:pure
 func (d *DeltaState) reset(t *Topology) {
 	nSat := t.NumSats()
@@ -118,6 +125,7 @@ func (d *DeltaState) reset(t *Topology) {
 // criteria and stamps its next-check deadline from the distance-to-boundary
 // margins. It reports whether the cached status flipped.
 //
+//hypatia:noalloc
 //hypatia:pure
 //hypatia:handle(gi: gs, si: node, pos: node)
 func (d *DeltaState) refreshPair(t *Topology, gi, si int, tsec float64, pos []geom.Vec3) bool {
@@ -157,6 +165,7 @@ func (d *DeltaState) refreshPair(t *Topology, gi, si int, tsec float64, pos []ge
 // rebuildRow regenerates one ground station's ascending visible list and
 // row deadline from the per-pair cache.
 //
+//hypatia:noalloc
 //hypatia:pure
 //hypatia:handle(gi: gs)
 func (d *DeltaState) rebuildRow(gi, nSat int) {
@@ -176,6 +185,7 @@ func (d *DeltaState) rebuildRow(gi, nSat int) {
 // that horizon passes, the instants in between need only service the
 // watchlist.
 //
+//hypatia:noalloc
 //hypatia:pure
 //hypatia:handle(gi: gs, pos: node)
 func (d *DeltaState) scanRow(t *Topology, gi, nSat int, tsec float64, pos []geom.Vec3, refreshAll bool) {
@@ -210,6 +220,7 @@ func (d *DeltaState) scanRow(t *Topology, gi, nSat int, tsec float64, pos []geom
 // are guaranteed quiet until the horizon, so the row deadline is the
 // earlier of the watchlist minimum and the horizon itself.
 //
+//hypatia:noalloc
 //hypatia:pure
 //hypatia:handle(gi: gs, pos: node)
 func (d *DeltaState) serviceWatch(t *Topology, gi, nSat int, tsec float64, pos []geom.Vec3) {
@@ -243,6 +254,7 @@ func (d *DeltaState) serviceWatch(t *Topology, gi, nSat int, tsec float64, pos [
 // passed are touched, and within them only the watchlist — the full row is
 // rescanned only when its watch horizon expires.
 //
+//hypatia:noalloc
 //hypatia:pure
 //hypatia:handle(pos: node)
 func (d *DeltaState) updateVisibility(t *Topology, tsec float64, pos []geom.Vec3) {
@@ -272,7 +284,7 @@ func (d *DeltaState) updateVisibility(t *Topology, tsec float64, pos []geom.Vec3
 //hypatia:pure
 //hypatia:handle(pos: node)
 func (d *DeltaState) verifyVisibility(t *Topology, tsec float64, pos []geom.Vec3) {
-	var scratch []int
+	scratch := d.visScratch
 	for gi, gs := range t.GroundStations {
 		scratch = t.Constellation.VisibleFromInto(gs.Position, tsec, pos[:t.NumSats()], scratch)
 		cached := d.visLists[gi]
@@ -285,6 +297,7 @@ func (d *DeltaState) verifyVisibility(t *Topology, tsec float64, pos []geom.Vec3
 				tsec, gi, i, cached[i], si)
 		}
 	}
+	d.visScratch = scratch
 }
 
 // snapshotFromCache is SnapshotInto with the visibility scan replaced by
@@ -292,6 +305,7 @@ func (d *DeltaState) verifyVisibility(t *Topology, tsec float64, pos []geom.Vec3
 // positions, ISL edges, and GSL edge weights come from the same arithmetic,
 // and the cached lists reproduce VisibleFromInto's ascending order.
 //
+//hypatia:noalloc
 //hypatia:pure
 func (d *DeltaState) snapshotFromCache(t *Topology, tsec float64, s *Snapshot) *Snapshot {
 	nSat := t.NumSats()
@@ -352,6 +366,7 @@ func (d *DeltaState) snapshotFromCache(t *Topology, tsec float64, s *Snapshot) *
 // directly and never reads a change list, so the O(E) diff would be pure
 // overhead there.
 //
+//hypatia:noalloc
 //hypatia:pure
 func (t *Topology) deltaSnapshot(tsec float64, d *DeltaState) *Snapshot {
 	if d.topo != t {
@@ -376,6 +391,8 @@ func (t *Topology) deltaSnapshot(tsec float64, d *DeltaState) *Snapshot {
 // diffable). The change list is owned by d and overwritten by the next
 // call. Time may move in any direction; backward jumps just cost one full
 // visibility refresh.
+//
+//hypatia:noalloc
 func (t *Topology) DeltaInto(tsec float64, d *DeltaState) (*Snapshot, []graph.EdgeChange) {
 	snap := t.deltaSnapshot(tsec, d)
 	var changes []graph.EdgeChange
@@ -479,6 +496,7 @@ func (e *IncrementalEngine) SetAvoid(nodes ...int) {
 // pruneInto rebuilds dst as src minus every edge touching an avoided node —
 // the arena-reusing equivalent of Snapshot.WithoutNodes.
 //
+//hypatia:noalloc
 //hypatia:pure
 //hypatia:handle(avoid: node)
 func pruneInto(src *graph.Graph, avoid []bool, dst *graph.Graph) *graph.Graph {
@@ -505,6 +523,7 @@ func pruneInto(src *graph.Graph, avoid []bool, dst *graph.Graph) *graph.Graph {
 // carried settle order. The table comes from the engine's pool; the caller
 // owns it and must Release it.
 //
+//hypatia:noalloc
 //hypatia:pure
 //hypatia:handle(active: ->gs)
 func (e *IncrementalEngine) Step(tsec float64, active []int) *ForwardingTable {

@@ -62,27 +62,32 @@ func NewTopology(c *constellation.Constellation, gss []groundstation.GS, policy 
 
 // NumSats returns the satellite count.
 //
+//hypatia:noalloc
 //hypatia:pure
 func (t *Topology) NumSats() int { return t.Constellation.NumSatellites() }
 
 // NumGS returns the ground-station count.
 //
+//hypatia:noalloc
 //hypatia:pure
 func (t *Topology) NumGS() int { return len(t.GroundStations) }
 
 // NumNodes returns the total node count (satellites + ground stations).
 //
+//hypatia:noalloc
 //hypatia:pure
 func (t *Topology) NumNodes() int { return t.NumSats() + t.NumGS() }
 
 // GSNode maps a ground-station index to its node id.
 //
+//hypatia:noalloc
 //hypatia:pure
 //hypatia:handle(gs: gs, return: node)
 func (t *Topology) GSNode(gs int) int { return t.NumSats() + gs }
 
 // IsGS reports whether node is a ground station.
 //
+//hypatia:noalloc
 //hypatia:handle(node: node)
 func (t *Topology) IsGS(node int) bool { return node >= t.NumSats() }
 
@@ -116,6 +121,7 @@ type Snapshot struct {
 // cheap position-only path used for per-packet propagation delays; Snapshot
 // additionally builds the connectivity graph.
 //
+//hypatia:noalloc
 //hypatia:handle(dst: node, return: node)
 func (t *Topology) NodePositions(tsec float64, dst []geom.Vec3) []geom.Vec3 {
 	n := t.NumNodes()
@@ -144,6 +150,7 @@ func (t *Topology) Snapshot(tsec float64) *Snapshot {
 // recycles storage, never data. Reusing one snapshot across the engine's
 // update instants eliminates the per-instant allocation storm.
 //
+//hypatia:noalloc
 //hypatia:pure
 func (t *Topology) SnapshotInto(tsec float64, s *Snapshot) *Snapshot {
 	nSat := t.NumSats()
@@ -207,6 +214,7 @@ func (s *Snapshot) FromGS(gs int, dist []float64, prev []int32) ([]float64, []in
 // FromGSScratch is FromGS with an explicit Dijkstra workspace, for callers
 // sweeping many destinations back-to-back. Results are identical to FromGS.
 //
+//hypatia:noalloc
 //hypatia:pure
 //hypatia:handle(gs: gs, dist: node, prev: node->node, return: node, node->node)
 func (s *Snapshot) FromGSScratch(gs int, dist []float64, prev []int32, sc *graph.Scratch) ([]float64, []int32) {
@@ -352,6 +360,7 @@ type TablePool struct {
 // NewEmptyForwardingTable), drawing the backing buffer from the pool when
 // one large enough is available.
 //
+//hypatia:noalloc
 //hypatia:pure
 //hypatia:transfer
 func (p *TablePool) Empty(t float64, numNodes, numGS int) *ForwardingTable {
@@ -387,6 +396,7 @@ func (p *TablePool) Empty(t float64, numNodes, numGS int) *ForwardingTable {
 // same buffer to two owners at once. Unchecked builds silently tolerate the
 // repeat.
 //
+//hypatia:noalloc
 //hypatia:transfer
 //hypatia:epoch(recv: table-slot)
 func (ft *ForwardingTable) Release() {
@@ -417,6 +427,7 @@ func (ft *ForwardingTable) Release() {
 // shard, recycling each shard's displaced clones as the destinations for
 // later instants.
 //
+//hypatia:noalloc
 //hypatia:transfer
 //hypatia:epoch(dst: table-slot)
 func (ft *ForwardingTable) CloneInto(dst *ForwardingTable) *ForwardingTable {
@@ -453,6 +464,7 @@ func (ft *ForwardingTable) Equal(o *ForwardingTable) bool {
 // station from a predecessor array produced by Dijkstra rooted at that
 // destination. Distinct destinations may be set concurrently.
 //
+//hypatia:noalloc
 //hypatia:pure
 //hypatia:handle(dstGS: gs, prev: node->node)
 func (ft *ForwardingTable) SetDestination(dstGS int, prev []int32) {
@@ -486,6 +498,7 @@ func (ft *ForwardingTable) checkColumn(dstGS int) {
 // station dstGS, or -1 if unreachable. For the destination node itself it
 // returns the node id.
 //
+//hypatia:noalloc
 //hypatia:handle(node: node, dstGS: gs, return: node)
 func (ft *ForwardingTable) NextHop(node, dstGS int) int32 {
 	if check.Enabled {

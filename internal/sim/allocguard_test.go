@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"testing"
+
+	"hypatia/internal/check/checktest"
+)
+
+// The AllocGuard tests are the runtime half of the //hypatia:noalloc
+// contract on the event engine; see internal/check/checktest.
+
+// TestAllocGuardEventHeap pins the heap machinery the engine lives on:
+// once the backing array has grown to the working-set size, fill/drain
+// cycles of pushes and pops allocate nothing.
+func TestAllocGuardEventHeap(t *testing.T) {
+	var h eventHeap
+	checktest.AllocGuard(t, "eventHeap push/pop", 0, 1, func() {
+		for i := 0; i < 64; i++ {
+			h.push(event{at: Time(i * 7 % 64), owner: int32(i % 5), kind: evClosure, seq: uint64(i)})
+		}
+		for len(h) > 0 {
+			h.pop()
+		}
+	})
+}
+
+// TestAllocGuardPacketPath pins the full per-packet event chain — inject,
+// forward, enqueue, serialize, receive, deliver — at one heap allocation
+// per packet: the Packet record Send mints by design. Everything after the
+// injection (device rings, event records, position cache) reuses
+// engine-owned storage.
+func TestAllocGuardPacketPath(t *testing.T) {
+	s, n, _ := testNet(t, DefaultConfig())
+	n.RegisterFlow(1, 1, func(*Packet) {})
+	checktest.AllocGuard(t, "packet delivery path", 1, 1, func() {
+		n.Send(0, 1, 1, 1500, nil)
+		s.Run(s.Now() + Second)
+	})
+}

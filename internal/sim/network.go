@@ -342,6 +342,7 @@ func (n *Network) Config() Config { return n.cfg }
 // simFor returns the engine that owns a node's events: the root engine, or
 // the node's shard engine during a sharded run.
 //
+//hypatia:noalloc
 //hypatia:handle(node: node)
 func (n *Network) simFor(node int32) *Simulator {
 	if n.shardOf == nil {
@@ -368,6 +369,7 @@ func (n *Network) SetDeliverHook(fn func(at Time, gs int, pkt *Packet)) { n.onDe
 // drop counts a drop and notifies the hook (directly, or via the shard
 // journal for post-run replay in canonical order).
 //
+//hypatia:noalloc
 //hypatia:handle(node: node)
 func (n *Network) drop(s *Simulator, node int32, pkt *Packet, reason DropReason) {
 	s.st.drops[reason]++
@@ -380,7 +382,7 @@ func (n *Network) drop(s *Simulator, node int32, pkt *Packet, reason DropReason)
 		return
 	}
 	if n.onDrop != nil {
-		n.onDrop(s.now, int(node), pkt, reason)
+		n.onDrop(s.now, int(node), pkt, reason) //hypatia:allocs(amortized) monitoring hooks own their allocation budget
 	}
 }
 
@@ -406,6 +408,8 @@ func (n *Network) SetTableSource(fn func() *routing.ForwardingTable) { n.tableSo
 
 // installEvent is the evInstall dispatch: install the next staged table
 // clone for this engine, retiring the displaced clone for reuse.
+//
+//hypatia:noalloc
 func (n *Network) installEvent(s *Simulator, idx int) {
 	if len(s.st.pendingTables) == 0 {
 		panic(fmt.Sprintf("sim: install event %d with no staged forwarding table", idx))
@@ -484,6 +488,7 @@ func (n *Network) TotalDrops() uint64 {
 // positionsAt returns the engine's cached node positions for the quantized
 // instant containing t.
 //
+//hypatia:noalloc
 //hypatia:handle(return: node)
 func (n *Network) positionsAt(s *Simulator, t Time) []geom.Vec3 {
 	bucket := t / n.cfg.PosQuantum
@@ -497,6 +502,7 @@ func (n *Network) positionsAt(s *Simulator, t Time) []geom.Vec3 {
 // propagationDelay returns the current one-way propagation delay between
 // two nodes at time t.
 //
+//hypatia:noalloc
 //hypatia:handle(a: node, b: node)
 func (n *Network) propagationDelay(s *Simulator, a, b int32, t Time) Time {
 	pos := n.positionsAt(s, t)
@@ -505,6 +511,7 @@ func (n *Network) propagationDelay(s *Simulator, a, b int32, t Time) Time {
 
 // forward routes a packet held by node toward its destination GS.
 //
+//hypatia:noalloc
 //hypatia:handle(node: node)
 func (n *Network) forward(s *Simulator, node int32, pkt *Packet) {
 	if s.st.ft == nil {
@@ -532,6 +539,7 @@ func (n *Network) forward(s *Simulator, node int32, pkt *Packet) {
 // enqueue appends the packet to the device's drop-tail queue and kicks the
 // transmitter if idle.
 //
+//hypatia:noalloc
 //hypatia:handle(di: device, target: node)
 func (n *Network) enqueue(s *Simulator, di int32, pkt *Packet, target int32) {
 	d := &n.devs[di]
@@ -559,6 +567,7 @@ func (n *Network) enqueue(s *Simulator, di int32, pkt *Packet, target int32) {
 // schedules the device's evTransmitDone for when the last bit is on the
 // wire. The head advance retires the slot, so both ring accesses precede it.
 //
+//hypatia:noalloc
 //hypatia:handle(di: device)
 func (n *Network) transmitStart(s *Simulator, di int32) {
 	d := &n.devs[di]
@@ -589,6 +598,7 @@ func (n *Network) transmitStart(s *Simulator, di int32) {
 // link loss, hand the packet toward its target (possibly across shards),
 // and chain the next serialization.
 //
+//hypatia:noalloc
 //hypatia:handle(di: device)
 func (n *Network) transmitDone(s *Simulator, di int32) {
 	d := &n.devs[di]
@@ -604,10 +614,10 @@ func (n *Network) transmitDone(s *Simulator, di int32) {
 				arrive: done + prop, pkt: *pkt,
 			})
 		} else {
-			n.onTransmit(ti)
+			n.onTransmit(ti) //hypatia:allocs(amortized) monitoring hooks own their allocation budget
 		}
 	}
-	if n.cfg.LossModel != nil && n.cfg.LossModel(int(d.node), int(target), done) {
+	if n.cfg.LossModel != nil && n.cfg.LossModel(int(d.node), int(target), done) { //hypatia:allocs(amortized) loss models own their allocation budget
 		n.drop(s, d.node, pkt, DropLink)
 	} else {
 		n.deliverTo(s, target, done+prop, pkt)
@@ -622,6 +632,7 @@ func (n *Network) transmitDone(s *Simulator, di int32) {
 // deliverTo schedules a packet's arrival at its target node: locally when
 // the target is on this engine, as a cross-shard handoff otherwise.
 //
+//hypatia:noalloc
 //hypatia:handle(target: node)
 func (n *Network) deliverTo(s *Simulator, target int32, at Time, pkt *Packet) {
 	if n.shardOf != nil {
@@ -640,6 +651,7 @@ func (n *Network) deliverTo(s *Simulator, target int32, at Time, pkt *Packet) {
 // receive is the evReceive dispatch: packet arrival at a node — local
 // delivery at the destination ground station, forwarding everywhere else.
 //
+//hypatia:noalloc
 //hypatia:handle(node: node)
 func (n *Network) receive(s *Simulator, node int32, pkt *Packet) {
 	pkt.Hops++
@@ -656,10 +668,10 @@ func (n *Network) receive(s *Simulator, node int32, pkt *Packet) {
 					key: s.emissionKey(), jk: jDeliver, at: s.now, a: int32(pkt.DstGS), pkt: *pkt,
 				})
 			} else {
-				n.onDeliver(s.now, pkt.DstGS, pkt)
+				n.onDeliver(s.now, pkt.DstGS, pkt) //hypatia:allocs(amortized) monitoring hooks own their allocation budget
 			}
 		}
-		h(pkt)
+		h(pkt) //hypatia:allocs(amortized) transport handlers own their allocation budget
 		return
 	}
 	n.forward(s, node, pkt)

@@ -38,11 +38,14 @@ const (
 
 // Seconds converts a float64 second count to a Time, rounding to the
 // nearest nanosecond.
+//
+//hypatia:noalloc
 func Seconds(s float64) Time { return Time(math.Round(s * 1e9)) }
 
 // Seconds converts the Time to float64 seconds.
 //
 //hypatia:pure
+//hypatia:noalloc
 //lint:ignore timeunits Seconds is the one sanctioned Time-to-float conversion
 func (t Time) Seconds() float64 { return float64(t) / 1e9 }
 
@@ -113,6 +116,7 @@ type event struct {
 //hypatia:confined
 type eventHeap []event
 
+//hypatia:noalloc
 func (h eventHeap) less(i, j int) bool {
 	a, b := &h[i], &h[j]
 	if a.at != b.at {
@@ -130,6 +134,7 @@ func (h eventHeap) less(i, j int) bool {
 	return a.seq < b.seq
 }
 
+//hypatia:noalloc
 func (h *eventHeap) push(e event) {
 	*h = append(*h, e)
 	q := *h
@@ -144,6 +149,7 @@ func (h *eventHeap) push(e event) {
 	}
 }
 
+//hypatia:noalloc
 func (h *eventHeap) pop() event {
 	q := *h
 	top := q[0]
@@ -231,6 +237,8 @@ func (s *Simulator) Pending() int { return len(s.events) }
 
 // Schedule enqueues fn to run delay from now. Negative delays panic: they
 // indicate a logic bug that would violate causality.
+//
+//hypatia:noalloc
 func (s *Simulator) Schedule(delay Time, fn func()) {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v at %v", delay, s.now))
@@ -239,6 +247,8 @@ func (s *Simulator) Schedule(delay Time, fn func()) {
 }
 
 // ScheduleAt enqueues fn to run at absolute time at (>= Now).
+//
+//hypatia:noalloc
 func (s *Simulator) ScheduleAt(at Time, fn func()) {
 	if s.migrated {
 		panic("sim: scheduling on the root engine during a sharded run; bind to a node with Network.Clock")
@@ -252,6 +262,8 @@ func (s *Simulator) ScheduleAt(at Time, fn func()) {
 // scheduleOwnedAt enqueues a closure on behalf of a node (transport timers
 // bound through a Clock). The owner keys the event's canonical order and, in
 // a sharded run, the shard that executes it.
+//
+//hypatia:noalloc
 func (s *Simulator) scheduleOwnedAt(at Time, owner int32, fn func()) {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: %v < %v", at, s.now))
@@ -259,6 +271,7 @@ func (s *Simulator) scheduleOwnedAt(at Time, owner int32, fn func()) {
 	s.events.push(event{at: at, owner: owner, kind: evClosure, seq: s.nextSeq(), fn: fn})
 }
 
+//hypatia:noalloc
 func (s *Simulator) nextSeq() uint64 {
 	q := s.seq
 	s.seq++
@@ -281,6 +294,14 @@ func (s *Simulator) Run(until Time) {
 // inclusive is set (the final window of a run), exclusive otherwise (interior
 // lookahead windows, whose boundary events belong to the next window so that
 // cross-shard handoffs landing exactly on the boundary still precede them).
+//
+// The engine loop is //hypatia:noalloc: every steady-state event — transmit
+// completions, receives, installs — executes without touching the heap. User
+// closures (evClosure) and monitoring hooks are the deliberate boundary of
+// that contract; their call sites carry //hypatia:allocs(amortized) waivers
+// because the code behind them owns its own allocation budget.
+//
+//hypatia:noalloc
 func (s *Simulator) runWindow(end Time, inclusive bool) {
 	for len(s.events) > 0 && !s.stopped {
 		at := s.events[0].at
@@ -305,12 +326,14 @@ func (s *Simulator) runWindow(end Time, inclusive bool) {
 }
 
 // dispatch executes one event record.
+//
+//hypatia:noalloc
 func (s *Simulator) dispatch(e *event) {
 	switch e.kind {
 	case evInstall:
 		s.net.installEvent(s, int(e.key))
 	case evClosure:
-		e.fn()
+		e.fn() //hypatia:allocs(amortized) user closures own their allocation budget
 	case evTransmitDone:
 		s.net.transmitDone(s, int32(e.key))
 	case evReceive:

@@ -3,8 +3,10 @@
 # with -benchmem at both GOMAXPROCS=1 and a wide setting (nproc, floored at
 # 4) — the single-core run isolates per-op cost, the wide run measures the
 # pipeline under real concurrency — and emits machine-readable results to
-# BENCH_routing.json in the repository root, then times hypatialint cold
-# (empty fact cache) vs warm (all-hit fact cache) into BENCH_lint.json.
+# BENCH_routing.json in the repository root, enforcing the checked-in
+# allocation budgets (alloc_budgets below) on the way, then times
+# hypatialint cold (empty fact cache) vs warm (all-hit fact cache) into
+# BENCH_lint.json.
 # Run from anywhere:
 #
 #   ./scripts/bench.sh [benchtime]
@@ -25,6 +27,27 @@ wide=$(( nproc_val > 4 ? nproc_val : 4 ))
 raw1="$(mktemp)"
 rawN="$(mktemp)"
 trap 'rm -f "$raw1" "$rawN"' EXIT
+
+# alloc_budgets pins steady-state allocs/op for the benchmarks whose hot
+# paths carry the machine-checked //hypatia:noalloc contract (the static
+# side is hypatialint's allocsafety check; the per-function runtime side is
+# the AllocGuard tests). Budgets leave headroom over the measured steady
+# state — SnapshotInto and the pooled sweep measure 0–1, the incremental
+# engine ~10–20 per 8-step op of amortized arena residue — so only a real
+# regression (losing a reuse path, a new per-op allocation) trips them.
+# Every budgeted benchmark gets "alloc_budget"/"alloc_budget_status" fields
+# in the JSON, and any "over" status fails the run.
+alloc_budgets="BenchmarkSnapshotInto=8 BenchmarkForwardingTableFull=16 BenchmarkForwardingTablePooled=8 BenchmarkForwardingStateIncremental=100"
+
+# budget_check fails when any benchmark came out over its pinned budget —
+# the bench harness' counterpart of a failing allocsafety finding.
+budget_check() { # $1 = json file
+    if grep -q '"alloc_budget_status": "over"' "$1"; then
+        echo "bench.sh: allocation budget exceeded (allocs_per_op over alloc_budget):" >&2
+        grep '"alloc_budget_status": "over"' "$1" >&2
+        return 1
+    fi
+}
 
 # bench_once runs the full bench suite at one GOMAXPROCS setting.
 bench_once() { # $1 = gomaxprocs, $2 = raw output file
@@ -48,7 +71,14 @@ bench_once() { # $1 = gomaxprocs, $2 = raw output file
 # expected to be at or below 1x, and the JSON must say so rather than look
 # like a regression.
 run_json() { # $1 = raw file, $2 = gomaxprocs used
-    awk -v gmp="$2" -v nproc="$nproc_val" '
+    awk -v gmp="$2" -v nproc="$nproc_val" -v budgets="$alloc_budgets" '
+BEGIN {
+    nb = split(budgets, bl, " ")
+    for (i = 1; i <= nb; i++) {
+        split(bl[i], kv, "=")
+        budget[kv[1]] = kv[2] + 0
+    }
+}
 function emit_ratio(key, num, den,    r) {
     if (num > 0 && den > 0) {
         r = num / den
@@ -82,6 +112,10 @@ END {
         if (name in eps)    printf ", \"events_per_second\": %s", eps[name]
         if (name in bytes)  printf ", \"bytes_per_op\": %s", bytes[name]
         if (name in allocs) printf ", \"allocs_per_op\": %s", allocs[name]
+        if (name in budget && name in allocs) {
+            printf ", \"alloc_budget\": %d", budget[name]
+            printf ", \"alloc_budget_status\": \"%s\"", (allocs[name] + 0 > budget[name]) ? "over" : "ok"
+        }
         printf "}%s\n", (i < n - 1) ? "," : ""
     }
     printf "      },\n"
@@ -96,16 +130,22 @@ END {
 }
 
 # --selftest: render a canned bench log through run_json and assert the
-# JSON schema (benchmark entries, both ratio fields) comes out right, then
-# exit without running any benchmarks. Wired into go test so schema
-# regressions in the awk above fail the suite, not the next bench run.
+# JSON schema (benchmark entries, ratio fields, alloc budget statuses)
+# comes out right — including that budget_check rejects an over-budget
+# run — then exit without running any benchmarks. Wired into go test so
+# schema regressions in the awk above fail the suite, not the next bench
+# run.
 if [[ "${1:-}" == "--selftest" ]]; then
     self="$(mktemp)"
     # The canned log mixes plain -benchmem lines with ReportMetric lines
-    # (events/s inserted before B/op), and makes sharded_over_serial come
-    # out below 1.0 so the nproc annotation path is exercised too.
+    # (events/s inserted before B/op), makes sharded_over_serial come out
+    # below 1.0 so the nproc annotation path is exercised, keeps the
+    # incremental engine inside its allocation budget ("ok"), and regresses
+    # SnapshotInto to its pre-arena-warmup 854 allocs/op so the "over"
+    # status and the budget_check failure path are exercised too.
     cat > "$self" <<'EOF'
 cpu: Selftest CPU @ 2.10GHz
+BenchmarkSnapshotInto-4                 5    1500000 ns/op  56000 B/op  854 allocs/op
 BenchmarkForwardingStateSerial-4        5  160000000 ns/op  1000 B/op  10 allocs/op
 BenchmarkForwardingStatePipelined-4     5   80000000 ns/op  2000 B/op  20 allocs/op
 BenchmarkForwardingStateIncremental-4   5   20000000 ns/op   500 B/op   5 allocs/op
@@ -118,8 +158,9 @@ EOF
     for want in \
         '"gomaxprocs": 4' \
         '"cpu": "Selftest CPU @ 2.10GHz"' \
+        '"BenchmarkSnapshotInto": {"ns_per_op": 1500000, "bytes_per_op": 56000, "allocs_per_op": 854, "alloc_budget": 8, "alloc_budget_status": "over"}' \
         '"BenchmarkForwardingStateSerial": {"ns_per_op": 160000000, "bytes_per_op": 1000, "allocs_per_op": 10}' \
-        '"BenchmarkForwardingStateIncremental": {"ns_per_op": 20000000, "bytes_per_op": 500, "allocs_per_op": 5}' \
+        '"BenchmarkForwardingStateIncremental": {"ns_per_op": 20000000, "bytes_per_op": 500, "allocs_per_op": 5, "alloc_budget": 100, "alloc_budget_status": "ok"}' \
         '"BenchmarkSimSerial": {"ns_per_op": 80000000, "events_per_second": 170000, "bytes_per_op": 3000, "allocs_per_op": 30}' \
         '"BenchmarkSimSharded/shards=4": {"ns_per_op": 100000000, "events_per_second": 136000, "bytes_per_op": 4000, "allocs_per_op": 40}' \
         '"serial_over_incremental": 8.000,' \
@@ -132,6 +173,22 @@ EOF
             exit 1
         fi
     done
+    # The canned SnapshotInto regression must fail budget_check, and a
+    # budget-clean JSON must pass it.
+    selfjson="$(mktemp)"
+    printf '%s\n' "$json" > "$selfjson"
+    if budget_check "$selfjson" 2>/dev/null; then
+        echo "bench.sh --selftest: budget_check passed an over-budget benchmark" >&2
+        rm -f "$selfjson"
+        exit 1
+    fi
+    grep -v '"alloc_budget_status": "over"' "$selfjson" > "$selfjson.ok"
+    if ! budget_check "$selfjson.ok"; then
+        echo "bench.sh --selftest: budget_check failed a budget-clean JSON" >&2
+        rm -f "$selfjson" "$selfjson.ok"
+        exit 1
+    fi
+    rm -f "$selfjson" "$selfjson.ok"
     echo "bench.sh --selftest: ok"
     exit 0
 fi
@@ -154,6 +211,7 @@ bench_once "$wide" "$rawN"
 } > "$out"
 
 echo "wrote $out"
+budget_check "$out"
 
 echo "== hypatialint cold vs warm (fact cache) =="
 lintout="BENCH_lint.json"

@@ -68,6 +68,34 @@ if ! grep -q '→ invalidated by' <<<"$handjson"; then
     exit 1
 fi
 
+echo "== hypatialint self-check (allocsafety origin chains) =="
+# The seeded allocation bugs in the allocsafety fixture must fail the lint
+# with the originating site and the full call chain rendered — including a
+# multi-hop chain through summarized callees — in text and -json alike.
+alloctext=$(./bin/hypatialint ./cmd/hypatialint/testdata/src/allocsafety 2>/dev/null || true)
+if ! grep -q 'allocsafety.*//hypatia:noalloc.*allocates at.*call chain:' <<<"$alloctext"; then
+    echo "no allocsafety finding with an allocation site and call chain in text output" >&2
+    exit 1
+fi
+if ! grep -q 'call chain: allocsafety.entry → allocsafety.helper → allocsafety.mid' <<<"$alloctext"; then
+    echo "no allocsafety finding with a multi-hop origin chain in text output" >&2
+    exit 1
+fi
+allocjson=$(./bin/hypatialint -json ./cmd/hypatialint/testdata/src/allocsafety 2>/dev/null || true)
+if ! grep -q 'call chain:' <<<"$allocjson"; then
+    echo "no allocsafety finding with its origin chain in -json output" >&2
+    exit 1
+fi
+
+echo "== alloc guards (default build, GOMAXPROCS=1) =="
+# The runtime half of //hypatia:noalloc: testing.AllocsPerRun pins the
+# steady-state hot paths to their budgets. Run in the default build — the
+# hypatia_checks build boxes assertion arguments and runs from-scratch
+# oracles, so the guards skip there — at GOMAXPROCS=1 so background
+# scheduling cannot smear allocations across the measured runs.
+GOMAXPROCS=1 go test -count=1 -run 'TestAllocGuard' \
+    ./internal/graph/ ./internal/routing/ ./internal/sim/ ./internal/core/
+
 echo "== incremental oracle exercised (comparison count must be nonzero) =="
 # The differential layer is only as good as the oracle actually running:
 # these tests fail unless the hypatia_checks oracle re-derived and compared
